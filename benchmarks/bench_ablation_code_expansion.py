@@ -1,0 +1,40 @@
+"""Ablation (future work §6): code expansion on the DM and the SWSM.
+
+Loop unrolling and software pipelining add bookkeeping instructions;
+the paper defers studying how that overhead affects the two machines.
+Expansion dilutes the memory work, so it costs issue bandwidth on both;
+the check is that neither machine degrades pathologically and the DM's
+md=60 advantage survives moderate expansion.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_table, run_code_expansion_ablation
+
+PROGRAMS = ("flo52q", "mdg")
+
+
+def test_code_expansion(lab, benchmark):
+    def sweep():
+        return {
+            program: run_code_expansion_ablation(lab, program)
+            for program in PROGRAMS
+        }
+
+    by_program = run_once(benchmark, sweep)
+    print()
+    for program, points in by_program.items():
+        print(render_table(
+            ["overhead", "DM cycles", "SWSM cycles", "SWSM/DM"],
+            [[f"{p.fraction:.0%}", p.dm_cycles, p.swsm_cycles,
+              p.dm_over_swsm] for p in points],
+            title=f"{program}: code expansion (md=60, window=32)",
+        ))
+        base = points[0]
+        half = points[-1]
+        assert half.dm_cycles >= base.dm_cycles
+        assert half.swsm_cycles >= base.swsm_cycles
+        # The DM's advantage survives 50% bookkeeping overhead.
+        assert half.dm_over_swsm > 1.0, program

@@ -1,0 +1,57 @@
+"""Ablation: dividing the combined issue width of 9 between AU and DU.
+
+The paper adopts the 4+5 split, citing a companion study that found it
+optimal. Two regimes:
+
+* at md=0 the machine is throughput-bound, so the optimum reflects the
+  AU/DU instruction balance and sits near the paper's 4+5;
+* at md=60 with a small window the AU's ability to pipeline gated
+  accesses dominates, which skews the optimum AU-ward — the sweep
+  prints both so the shift is visible.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_table, run_issue_split_ablation
+
+PROGRAMS = ("trfd", "flo52q", "mdg")
+
+
+def test_issue_split(lab, benchmark):
+    def sweep():
+        return {
+            (program, md): run_issue_split_ablation(
+                lab, program, memory_differential=md
+            )
+            for program in PROGRAMS
+            for md in (0, 60)
+        }
+
+    results = run_once(benchmark, sweep)
+    print()
+    for program in PROGRAMS:
+        md0 = results[(program, 0)]
+        md60 = results[(program, 60)]
+        print(render_table(
+            ["AU", "DU", "cycles md=0", "cycles md=60"],
+            [
+                [a.au_width, a.du_width, a.cycles, b.cycles]
+                for a, b in zip(md0, md60)
+            ],
+            title=f"{program}: issue split at CIW=9 (window=32)",
+        ))
+        best_md0 = min(md0, key=lambda p: p.cycles)
+        print(f"  best split at md=0: {best_md0.au_width}+{best_md0.du_width}")
+        # Throughput-bound regime: the optimum is near the paper's 4+5.
+        assert 3 <= best_md0.au_width <= 5, (
+            f"{program}: md=0 optimum {best_md0.au_width}+"
+            f"{best_md0.du_width} is not near 4+5"
+        )
+        # Extreme splits are always bad.
+        for points in (md0, md60):
+            best = min(p.cycles for p in points)
+            by_width = {p.au_width: p.cycles for p in points}
+            assert best < by_width[1]
+            assert best < by_width[8]

@@ -1,0 +1,37 @@
+"""Ablation (future work §6): how the code is divided between the units.
+
+Compares the paper's slice partition against a memory-only partition
+(all address arithmetic on the DU) and a balance-driven variant — the
+static-versus-alternative-partition question the paper defers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_table, run_partition_ablation
+
+PROGRAMS = ("trfd", "flo52q", "track")
+
+
+def test_partition_strategies(lab, benchmark):
+    def sweep():
+        return {
+            program: run_partition_ablation(lab, program)
+            for program in PROGRAMS
+        }
+
+    by_program = run_once(benchmark, sweep)
+    print()
+    for program, points in by_program.items():
+        print(render_table(
+            ["strategy", "cycles", "AU instrs", "DU instrs"],
+            [[p.strategy, p.cycles, p.au_instructions, p.du_instructions]
+             for p in points],
+            title=f"{program}: partition strategies (md=60, window=32)",
+        ))
+        by_name = {p.strategy: p.cycles for p in points}
+        # Slicing is what makes decoupling work: the degenerate
+        # memory-only partition must be far slower.
+        assert by_name["slice"] < by_name["memory-only"], program
+        assert by_name["balanced"] <= by_name["memory-only"], program

@@ -1,0 +1,44 @@
+"""Simulator throughput: instructions simulated per second.
+
+Not a paper artefact — this times the event-driven engine itself, the
+substrate every other benchmark stands on. Uses normal multi-round
+pytest-benchmark statistics (the run is deterministic and cheap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecoupledMachine, DMConfig, SuperscalarMachine, SWSMConfig
+from repro.kernels import build_kernel
+
+
+@pytest.fixture(scope="module")
+def flo52q_program():
+    return build_kernel("flo52q", 10_000)
+
+
+def test_dm_engine_throughput(flo52q_program, benchmark):
+    machine = DecoupledMachine(DMConfig.symmetric(32))
+    compiled = machine.compile(flo52q_program)
+    result = benchmark(
+        lambda: machine.run(compiled, memory_differential=60)
+    )
+    rate = compiled.num_instructions / benchmark.stats["mean"]
+    print(f"\nDM: {rate / 1e3:.0f}k machine instructions / second "
+          f"({result.cycles} cycles simulated)")
+
+
+def test_swsm_engine_throughput(flo52q_program, benchmark):
+    machine = SuperscalarMachine(SWSMConfig(window=32))
+    compiled = machine.compile(flo52q_program)
+    result = benchmark(
+        lambda: machine.run(compiled, memory_differential=60)
+    )
+    rate = compiled.num_instructions / benchmark.stats["mean"]
+    print(f"\nSWSM: {rate / 1e3:.0f}k machine instructions / second "
+          f"({result.cycles} cycles simulated)")
+
+
+def test_compile_throughput(flo52q_program, benchmark):
+    benchmark(lambda: DecoupledMachine.compile(flo52q_program))

@@ -1,0 +1,21 @@
+"""Figure 4: speedup versus window size for FLO52Q.
+
+Four curves — DM and SWSM at memory differentials of 0 and 60 — over
+the paper's 0-100 window axis, with the crossover checks: the SWSM
+overtakes at md=0 once its issue width is usable, and never at md=60.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from figure_helpers import (
+    check_speedup_claims,
+    print_speedup_figure,
+    speedup_figure,
+)
+
+
+def test_fig4_flo52q_speedup(lab, preset, benchmark):
+    figure = run_once(benchmark, lambda: speedup_figure(lab, preset, "flo52q"))
+    print_speedup_figure(figure)
+    check_speedup_claims(figure, track_like=False)

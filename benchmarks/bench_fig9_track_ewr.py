@@ -1,0 +1,17 @@
+"""Figure 9: equivalent window ratio versus DM window for TRACK.
+
+For each memory differential, the SWSM window that matches the DM's
+execution time, as a multiple of the DM window. The checks: ratios
+grow with the differential and shrink as the DM window grows.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from figure_helpers import check_ewr_claims, ewr_figure, print_ewr_figure
+
+
+def test_fig9_track_ewr(lab, preset, benchmark):
+    figure = run_once(benchmark, lambda: ewr_figure(lab, preset, "track"))
+    print_ewr_figure(figure)
+    check_ewr_claims(figure)

@@ -1,0 +1,43 @@
+"""Table 1: latency-hiding effectiveness of the DM at md=60.
+
+Regenerates the LHE of all seven programs across the window ladder,
+prints the table in the paper's layout, and checks the band grouping.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_table, run_table1
+
+
+def test_table1(lab, benchmark):
+    result = run_once(benchmark, lambda: run_table1(lab))
+    headers = ["Prog"] + [
+        "unl" if window is None else str(window) for window in result.windows
+    ] + ["band", "paper"]
+    rows = [
+        [row.program]
+        + [row.lhe_by_window[window] for window in result.windows]
+        + [row.measured_band, row.expected_band]
+        for row in result.rows
+    ]
+    print()
+    print(render_table(headers, rows,
+                       title="Table 1: LHE for md=60 (DM)"))
+    assert result.bands_correct == len(result.rows), (
+        "effectiveness bands diverged from the paper"
+    )
+
+
+def test_table1_band_boundaries(lab, benchmark):
+    """The three bands are separated at the unlimited window."""
+    result = run_once(benchmark, lambda: run_table1(lab, windows=(None,)))
+    by_band: dict[str, list[float]] = {"high": [], "moderate": [], "poor": []}
+    for row in result.rows:
+        by_band[row.expected_band].append(row.unlimited_lhe)
+    print()
+    for band, values in by_band.items():
+        print(f"{band:9s}: " + " ".join(f"{v:.2f}" for v in sorted(values)))
+    assert min(by_band["high"]) > max(by_band["moderate"])
+    assert min(by_band["moderate"]) > max(by_band["poor"])

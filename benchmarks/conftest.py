@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run pytest with ``-s``
+to see them). The ``REPRO_SCALE`` environment variable picks the
+fidelity preset (default: ``small``).
+
+Each artefact is generated once per benchmark (``pedantic`` with one
+round): the measurement of interest is the artefact itself plus the
+wall-clock cost of regenerating it, not statistical timing noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Lab, ScalePreset, active_preset
+
+
+@pytest.fixture(scope="session")
+def preset() -> ScalePreset:
+    return active_preset()
+
+
+@pytest.fixture(scope="session")
+def lab(preset: ScalePreset) -> Lab:
+    return Lab(scale=preset.scale)
+
+
+def run_once(benchmark, func):
+    """Run an artefact generator exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,80 @@
+"""Shared rendering/assertion helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    EwrFigure,
+    SpeedupFigure,
+    render_plot,
+    run_ewr_figure,
+    run_speedup_figure,
+)
+
+
+def speedup_figure(lab, preset, program: str) -> SpeedupFigure:
+    return run_speedup_figure(lab, program, windows=preset.speedup_windows)
+
+
+def print_speedup_figure(figure: SpeedupFigure) -> None:
+    series = {
+        f"{curve.machine} md={curve.memory_differential}": curve.speedups
+        for curve in figure.curves
+    }
+    print()
+    print(render_plot(
+        figure.windows, series,
+        title=f"{figure.program.upper()} CIW=9 (speedup vs window size)",
+        x_label="window size",
+    ))
+    for md in (0, 60):
+        crossover = figure.crossover_window(md)
+        text = "none" if crossover is None else str(crossover)
+        print(f"  md={md}: SWSM overtakes at window {text}")
+
+
+def check_speedup_claims(figure: SpeedupFigure, track_like: bool) -> None:
+    """The paper's two headline orderings for figures 4-6."""
+    smallest = figure.windows[0]
+    dm0 = figure.curve("DM", 0)
+    swsm0 = figure.curve("SWSM", 0)
+    assert dm0.at(smallest) > swsm0.at(smallest), (
+        "DM should win at small windows at md=0"
+    )
+    dm60 = figure.curve("DM", 60)
+    swsm60 = figure.curve("SWSM", 60)
+    tolerance = 1.02 if track_like else 1.0
+    for window in figure.windows:
+        assert swsm60.at(window) <= dm60.at(window) * tolerance, (
+            f"SWSM beat the DM at md=60, window {window}"
+        )
+
+
+def ewr_figure(lab, preset, program: str) -> EwrFigure:
+    return run_ewr_figure(
+        lab, program,
+        dm_windows=preset.ewr_windows,
+        differentials=preset.ewr_differentials,
+    )
+
+
+def print_ewr_figure(figure: EwrFigure) -> None:
+    series = {
+        f"md={curve.memory_differential}": curve.ratios
+        for curve in figure.curves
+    }
+    print()
+    print(render_plot(
+        figure.dm_windows, series,
+        title=f"{figure.program.upper()} (equivalent window ratio)",
+        x_label="access decoupled window size",
+    ))
+
+
+def check_ewr_claims(figure: EwrFigure) -> None:
+    """Ratios grow with md and fall with the DM window."""
+    first_window = figure.dm_windows[0]
+    last_window = figure.dm_windows[-1]
+    lowest = figure.curves[0]
+    highest = figure.curves[-1]
+    assert highest.at(first_window) > lowest.at(first_window)
+    assert highest.at(last_window) < highest.at(first_window)

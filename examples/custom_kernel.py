@@ -1,0 +1,70 @@
+"""Writing your own workload with the kernel DSL.
+
+Builds a blocked matrix-vector kernel with an indirect row map (so the
+address unit has self-loads to chase), inspects how it partitions, and
+sweeps window sizes on both machines.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DecoupledMachine,
+    DMConfig,
+    KernelBuilder,
+    SerialMachine,
+    SuperscalarMachine,
+    SWSMConfig,
+    analyze_decoupling,
+)
+
+
+def build_sparse_matvec(rows: int = 64, row_length: int = 8):
+    """y[r] = sum_k A[rowmap[r]+k] * x[col(r,k)] over a banded matrix."""
+    builder = KernelBuilder("sparse-matvec")
+    a = builder.array("A", rows * row_length)
+    x = builder.array("x", rows + row_length)
+    y = builder.array("y", rows)
+    rowmap = builder.array("rowmap", rows)
+
+    iv = None
+    for r in range(rows):
+        iv = builder.induction(iv, tag="row")
+        # The row offset lives in memory: an AU self-load.
+        offset = builder.load(rowmap, r, iv, tag="rowmap")
+        acc = None
+        for k in range(row_length):
+            element = builder.load(a, r * row_length + k, iv, offset,
+                                   tag="A")
+            vector = builder.load(x, r + k, iv, tag="x")
+            term = builder.fmul(element, vector, tag="mac")
+            acc = term if acc is None else builder.fadd(acc, term, tag="mac")
+        assert acc is not None
+        builder.store(y, r, acc, iv, tag="y")
+    return builder.build()
+
+
+def main() -> None:
+    program = build_sparse_matvec()
+    report = analyze_decoupling(program)
+    print(f"{program.name}: {len(program)} instructions")
+    print(f"  AU share {report.au_fraction:.0%}, "
+          f"{report.self_loads} self-loads, "
+          f"{report.lod_events} loss-of-decoupling events")
+
+    serial = SerialMachine().run(program, 60).cycles
+    print(f"\n{'window':>7} {'DM speedup':>11} {'SWSM speedup':>13}   (md=60)")
+    for window in (8, 16, 32, 64):
+        dm = DecoupledMachine(DMConfig.symmetric(window)).run_program(
+            program, memory_differential=60
+        )
+        swsm = SuperscalarMachine(SWSMConfig(window=window)).run_program(
+            program, memory_differential=60
+        )
+        print(f"{window:>7} {serial / dm.cycles:>11.1f} "
+              f"{serial / swsm.cycles:>13.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""How far does the address unit slip ahead? (the paper's §3, measured)
+
+For each of the seven PERFECT-club models this prints the static
+decoupling profile (AU share, self-loads, loss-of-decoupling events)
+and the dynamic one: the effective single window and the decoupled
+memory's occupancy at md=0 versus md=60.
+
+Run:  python examples/decoupling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import DecoupledMachine, DMConfig, analyze_decoupling, build_kernel
+from repro.kernels import PAPER_ORDER
+
+WINDOW = 32
+SCALE = 8_000
+
+
+def main() -> None:
+    machine = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    print(f"{'kernel':8} {'AU%':>5} {'selfld':>7} {'LOD/k':>6}  "
+          f"{'ESW md0':>8} {'ESW md60':>9} {'buffer md60':>12}")
+    for name in PAPER_ORDER:
+        program = build_kernel(name, SCALE)
+        static = analyze_decoupling(program)
+        compiled = machine.compile(program)
+        dynamic = {}
+        for md in (0, 60):
+            result = machine.run(
+                compiled, memory_differential=md,
+                probe_esw=True, probe_buffers=True,
+            )
+            dynamic[md] = result
+        occupancy = dynamic[60].buffer_occupancy
+        print(f"{name:8} {static.au_fraction:>5.0%} "
+              f"{static.self_loads:>7} {static.lod_rate:>6.1f}  "
+              f"{dynamic[0].esw_mean:>8.0f} {dynamic[60].esw_mean:>9.0f} "
+              f"{occupancy.peak if occupancy else 0:>12}")
+
+    print(
+        "\nESW is the span from the oldest unissued DU instruction to the "
+        "youngest\ndispatched AU instruction: when it exceeds "
+        f"{2 * WINDOW} (the two physical windows),\nthe DM is acting like "
+        "a machine with a much larger single window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Beyond the fixed differential: caches and the bypass buffer.
+
+The paper models memory as a fixed 60-cycle differential ("a weak
+memory system capable of capturing no locality") and sketches a bypass
+buffer as future work. This example runs the DM under three memory
+systems — fixed cost, an L1+L2 hierarchy, and the bypass buffer in
+front of the fixed-cost memory — to show how much of the DM/SWSM story
+survives once locality is captured.
+
+Run:  python examples/memory_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BypassBuffer,
+    CacheMemory,
+    DecoupledMachine,
+    DMConfig,
+    FixedLatencyMemory,
+    SuperscalarMachine,
+    SWSMConfig,
+    build_kernel,
+)
+
+WINDOW = 32
+
+
+def memory_systems():
+    yield "fixed md=60", lambda: FixedLatencyMemory(60)
+    yield "L1+L2 cache", lambda: CacheMemory(miss_extra=60)
+    yield "bypass(64) over fixed", lambda: BypassBuffer(
+        FixedLatencyMemory(60), entries=64, line_bytes=1
+    )
+
+
+def main() -> None:
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    swsm = SuperscalarMachine(SWSMConfig(window=WINDOW))
+    for name in ("mdg", "flo52q"):
+        program = build_kernel(name, 8_000)
+        dm_compiled = dm.compile(program)
+        swsm_compiled = swsm.compile(program)
+        print(f"\n{name} ({len(program)} instructions):")
+        print(f"  {'memory system':24} {'DM cycles':>10} {'SWSM cycles':>12} "
+              f"{'DM advantage':>13}")
+        for label, make_memory in memory_systems():
+            dm_cycles = dm.run(dm_compiled, memory=make_memory()).cycles
+            swsm_cycles = swsm.run(swsm_compiled, memory=make_memory()).cycles
+            print(f"  {label:24} {dm_cycles:>10} {swsm_cycles:>12} "
+                  f"{swsm_cycles / dm_cycles:>12.2f}x")
+    print(
+        "\nLocality-capturing memory shrinks the differential the DM must "
+        "hide, and with\nit the DM's advantage — exactly the trade the "
+        "paper's footnote anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

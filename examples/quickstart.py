@@ -1,0 +1,55 @@
+"""Quickstart: compare the two machines on one workload.
+
+Builds the FLO52Q workload model, compiles it for the access decoupled
+machine (DM) and the single-window superscalar (SWSM), and prints
+speedups over the serial reference at memory differentials of 0 and 60
+— a miniature of the paper's Figure 4.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DecoupledMachine,
+    DMConfig,
+    SerialMachine,
+    SuperscalarMachine,
+    SWSMConfig,
+    build_kernel,
+)
+
+WINDOW = 32
+
+
+def main() -> None:
+    program = build_kernel("flo52q", scale=10_000)
+    print(f"workload: {program.name}, {len(program)} instructions "
+          f"({program.stats.memory_fraction:.0%} memory operations)")
+
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    swsm = SuperscalarMachine(SWSMConfig(window=WINDOW))
+    serial = SerialMachine()
+
+    dm_compiled = dm.compile(program)
+    swsm_compiled = swsm.compile(program)
+
+    print(f"\n{'md':>4} {'serial':>9} {'DM':>9} {'SWSM':>9} "
+          f"{'DM speedup':>11} {'SWSM speedup':>13}")
+    for md in (0, 60):
+        reference = serial.run(program, md).cycles
+        dm_cycles = dm.run(dm_compiled, memory_differential=md).cycles
+        swsm_cycles = swsm.run(swsm_compiled, memory_differential=md).cycles
+        print(f"{md:>4} {reference:>9} {dm_cycles:>9} {swsm_cycles:>9} "
+              f"{reference / dm_cycles:>11.1f} "
+              f"{reference / swsm_cycles:>13.1f}")
+
+    print(
+        "\nAt md=60 the decoupled machine hides far more of the memory "
+        "latency than the\nsingle-window machine with the same window "
+        "size — the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

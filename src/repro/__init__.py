@@ -1,0 +1,143 @@
+"""repro: Jones & Topham (MICRO-30, 1997) reproduced in Python.
+
+A trace-driven microarchitecture study comparing data prefetching on an
+access decoupled machine (DM) and a single-window out-of-order
+superscalar machine (SWSM). See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-versus-measured record.
+
+Quickstart::
+
+    from repro import Lab, run_speedup_figure
+
+    lab = Lab(scale=12_000)
+    figure = run_speedup_figure(lab, "flo52q")
+    print(figure.crossover_window(0))    # SWSM overtakes at md=0 ...
+    print(figure.crossover_window(60))   # ... but never at md=60
+"""
+
+from .config import (
+    DEFAULT_LATENCIES,
+    DEFAULT_MEMORY_DIFFERENTIAL,
+    MEMORY_DIFFERENTIALS,
+    DMConfig,
+    LatencyModel,
+    SWSMConfig,
+    UnitConfig,
+)
+from .errors import (
+    BuilderError,
+    ConfigError,
+    IRValidationError,
+    KernelError,
+    MetricError,
+    PartitionError,
+    ProjectionError,
+    ReproError,
+    SimulationDeadlockError,
+    SimulationError,
+)
+from .experiments import (
+    Lab,
+    run_bypass_ablation,
+    run_code_expansion_ablation,
+    run_esw_study,
+    run_ewr_figure,
+    run_issue_split_ablation,
+    run_partition_ablation,
+    run_speedup_figure,
+    run_table1,
+)
+from .ir import Instruction, KernelBuilder, OpClass, Opcode, Program, Value
+from .kernels import (
+    PAPER_ORDER,
+    SyntheticParams,
+    build_kernel,
+    build_synthetic_stream,
+    get_kernel,
+    list_kernels,
+)
+from .machines import (
+    DecoupledMachine,
+    SerialMachine,
+    SimulationResult,
+    SuperscalarMachine,
+)
+from .memory import BypassBuffer, CacheMemory, FixedLatencyMemory, MemorySystem
+from .metrics import (
+    classify_band,
+    equivalent_window_ratio,
+    find_equivalent_window,
+    lhe,
+    speedup,
+)
+from .partition import (
+    MachineProgram,
+    Unit,
+    analyze_decoupling,
+    compute_address_slice,
+    lower_swsm,
+    partition_dm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuilderError",
+    "BypassBuffer",
+    "CacheMemory",
+    "ConfigError",
+    "DEFAULT_LATENCIES",
+    "DEFAULT_MEMORY_DIFFERENTIAL",
+    "DMConfig",
+    "DecoupledMachine",
+    "FixedLatencyMemory",
+    "IRValidationError",
+    "Instruction",
+    "KernelBuilder",
+    "KernelError",
+    "Lab",
+    "LatencyModel",
+    "MEMORY_DIFFERENTIALS",
+    "MachineProgram",
+    "MemorySystem",
+    "MetricError",
+    "OpClass",
+    "Opcode",
+    "PAPER_ORDER",
+    "PartitionError",
+    "Program",
+    "ProjectionError",
+    "ReproError",
+    "SWSMConfig",
+    "SerialMachine",
+    "SimulationDeadlockError",
+    "SimulationError",
+    "SimulationResult",
+    "SuperscalarMachine",
+    "SyntheticParams",
+    "Unit",
+    "UnitConfig",
+    "Value",
+    "analyze_decoupling",
+    "build_kernel",
+    "build_synthetic_stream",
+    "classify_band",
+    "compute_address_slice",
+    "equivalent_window_ratio",
+    "find_equivalent_window",
+    "get_kernel",
+    "lhe",
+    "list_kernels",
+    "lower_swsm",
+    "partition_dm",
+    "run_bypass_ablation",
+    "run_code_expansion_ablation",
+    "run_esw_study",
+    "run_ewr_figure",
+    "run_issue_split_ablation",
+    "run_partition_ablation",
+    "run_speedup_figure",
+    "run_table1",
+    "speedup",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig4 --scale paper
+    python -m repro ewr --program mdg
+    python -m repro esw
+    python -m repro ablation --study bypass --program flo52q
+    python -m repro kernels
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    FIGURE_PROGRAMS,
+    PRESETS,
+    Lab,
+    active_preset,
+    render_plot,
+    render_table,
+    run_bypass_ablation,
+    run_code_expansion_ablation,
+    run_esw_study,
+    run_ewr_figure,
+    run_issue_split_ablation,
+    run_partition_ablation,
+    run_speedup_figure,
+    run_table1,
+)
+from .kernels import PAPER_ORDER, get_kernel, list_kernels
+from .partition import analyze_decoupling
+
+__all__ = ["main"]
+
+_FIGURE_BY_COMMAND = {"fig4": "flo52q", "fig5": "mdg", "fig6": "track"}
+_EWR_BY_COMMAND = {"fig7": "flo52q", "fig8": "mdg", "fig9": "track"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Jones & Topham (MICRO-30, 1997).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="fidelity preset (default: REPRO_SCALE env var or 'small')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="LHE of the DM at md=60 (Table 1)")
+    for command, program in _FIGURE_BY_COMMAND.items():
+        sub.add_parser(command, help=f"speedup vs window for {program}")
+    for command, program in _EWR_BY_COMMAND.items():
+        sub.add_parser(command, help=f"equivalent window ratio for {program}")
+    speedup = sub.add_parser("speedup", help="speedup figure for any kernel")
+    speedup.add_argument("--program", default="flo52q")
+    ewr = sub.add_parser("ewr", help="EWR figure for any kernel")
+    ewr.add_argument("--program", default="flo52q")
+    sub.add_parser("esw", help="effective-single-window study (Figure 3)")
+    ablation = sub.add_parser("ablation", help="design-choice ablations")
+    ablation.add_argument(
+        "--study",
+        choices=("issue-split", "partition", "bypass", "expansion"),
+        default="issue-split",
+    )
+    ablation.add_argument("--program", default="flo52q")
+    sub.add_parser("kernels", help="list workload models and their structure")
+    return parser
+
+
+def _make_lab(args: argparse.Namespace):
+    preset = PRESETS[args.scale] if args.scale else active_preset()
+    return Lab(scale=preset.scale), preset
+
+
+def _print_table1(lab: Lab, preset) -> None:
+    result = run_table1(lab)
+    headers = ["Prog"] + [
+        "unl" if window is None else str(window) for window in result.windows
+    ] + ["band"]
+    rows = [
+        [row.program]
+        + [row.lhe_by_window[window] for window in result.windows]
+        + [row.measured_band]
+        for row in result.rows
+    ]
+    print(render_table(
+        headers, rows,
+        title=f"Table 1: DM latency hiding effectiveness, md="
+              f"{result.memory_differential} (scale={preset.name})",
+    ))
+    print(f"bands matching the paper: {result.bands_correct}/{len(result.rows)}")
+
+
+def _print_speedup(lab: Lab, preset, program: str) -> None:
+    figure = run_speedup_figure(lab, program, windows=preset.speedup_windows)
+    series = {
+        f"{curve.machine} md={curve.memory_differential}": curve.speedups
+        for curve in figure.curves
+    }
+    print(render_plot(
+        figure.windows, series,
+        title=f"Speedup vs window size: {program} (CIW=9)",
+        x_label="window size",
+    ))
+    for md in (0, 60):
+        crossover = figure.crossover_window(md)
+        text = "none (DM wins everywhere)" if crossover is None else str(crossover)
+        print(f"md={md}: SWSM overtakes the DM at window {text}")
+
+
+def _print_ewr(lab: Lab, preset, program: str) -> None:
+    figure = run_ewr_figure(
+        lab, program,
+        dm_windows=preset.ewr_windows,
+        differentials=preset.ewr_differentials,
+    )
+    series = {
+        f"md={curve.memory_differential}": curve.ratios
+        for curve in figure.curves
+    }
+    print(render_plot(
+        figure.dm_windows, series,
+        title=f"Equivalent window ratio: {program}",
+        x_label="access decoupled window size",
+    ))
+
+
+def _print_esw(lab: Lab) -> None:
+    rows = run_esw_study(lab, FIGURE_PROGRAMS)
+    print(render_table(
+        ["Prog", "md", "window", "mean ESW", "peak ESW", "amplification"],
+        [
+            [row.program, row.memory_differential, row.window,
+             row.stats.mean, row.stats.peak, row.stats.amplification]
+            for row in rows
+        ],
+        title="Effective single window (vs 2x physical window)",
+    ))
+
+
+def _print_ablation(lab: Lab, study: str, program: str) -> None:
+    if study == "issue-split":
+        points = run_issue_split_ablation(lab, program)
+        print(render_table(
+            ["AU", "DU", "cycles"],
+            [[p.au_width, p.du_width, p.cycles] for p in points],
+            title=f"Issue-width split at CIW=9: {program} (md=60, window=32)",
+        ))
+        best = min(points, key=lambda p: p.cycles)
+        print(f"best split: AU={best.au_width} DU={best.du_width}")
+    elif study == "partition":
+        points = run_partition_ablation(lab, program)
+        print(render_table(
+            ["strategy", "cycles", "AU instrs", "DU instrs"],
+            [[p.strategy, p.cycles, p.au_instructions, p.du_instructions]
+             for p in points],
+            title=f"Partition strategies: {program} (md=60, window=32)",
+        ))
+    elif study == "bypass":
+        points = run_bypass_ablation(lab, program)
+        print(render_table(
+            ["entries", "cycles", "hit rate"],
+            [[p.entries, p.cycles, p.hit_rate] for p in points],
+            title=f"Bypass buffer: {program} (md=60, window=32)",
+        ))
+    else:
+        points = run_code_expansion_ablation(lab, program)
+        print(render_table(
+            ["overhead", "DM cycles", "SWSM cycles", "SWSM/DM"],
+            [[f"{p.fraction:.0%}", p.dm_cycles, p.swsm_cycles, p.dm_over_swsm]
+             for p in points],
+            title=f"Code expansion: {program} (md=60, window=32)",
+        ))
+
+
+def _print_kernels(lab: Lab) -> None:
+    rows = []
+    for name in list_kernels():
+        spec = get_kernel(name)
+        program = lab.program(name)
+        report = analyze_decoupling(program)
+        rows.append([
+            name, len(program), f"{program.stats.memory_fraction:.2f}",
+            f"{report.au_fraction:.2f}", report.self_loads,
+            report.lod_events, spec.band,
+        ])
+    print(render_table(
+        ["kernel", "instrs", "mem frac", "AU frac", "self-loads",
+         "LOD events", "paper band"],
+        rows,
+        title="Workload models (PERFECT Club substitutes)",
+    ))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    lab, preset = _make_lab(args)
+    command = args.command
+    if command == "table1":
+        _print_table1(lab, preset)
+    elif command in _FIGURE_BY_COMMAND:
+        _print_speedup(lab, preset, _FIGURE_BY_COMMAND[command])
+    elif command in _EWR_BY_COMMAND:
+        _print_ewr(lab, preset, _EWR_BY_COMMAND[command])
+    elif command == "speedup":
+        _print_speedup(lab, preset, args.program)
+    elif command == "ewr":
+        _print_ewr(lab, preset, args.program)
+    elif command == "esw":
+        _print_esw(lab)
+    elif command == "ablation":
+        _print_ablation(lab, args.study, args.program)
+    elif command == "kernels":
+        _print_kernels(lab)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IRValidationError",
+    "BuilderError",
+    "PartitionError",
+    "ConfigError",
+    "SimulationError",
+    "SimulationDeadlockError",
+    "MetricError",
+    "ProjectionError",
+    "KernelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRValidationError(ReproError):
+    """An instruction or program violates an IR well-formedness rule."""
+
+
+class BuilderError(ReproError):
+    """A kernel builder was used incorrectly (bad operand, bad array ref)."""
+
+
+class PartitionError(ReproError):
+    """The access/execute partitioner produced or detected an invalid split."""
+
+
+class ConfigError(ReproError):
+    """A machine or experiment configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """A machine simulation failed."""
+
+
+class SimulationDeadlockError(SimulationError):
+    """No unit can make progress although instructions remain.
+
+    With unbounded decoupled-memory buffers and in-order dispatch this is
+    impossible for well-formed programs, so this error always indicates a
+    malformed machine program (e.g. a dependence cycle).
+    """
+
+
+class MetricError(ReproError):
+    """A metric was computed from inconsistent or insufficient inputs."""
+
+
+class ProjectionError(MetricError):
+    """An equivalent-window projection could not be bracketed."""
+
+
+class KernelError(ReproError):
+    """A kernel model was requested with invalid parameters."""

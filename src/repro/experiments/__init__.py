@@ -1,0 +1,64 @@
+"""Experiment drivers: one module per paper table/figure plus ablations."""
+
+from .ablations import (
+    BypassPoint,
+    ExpansionPoint,
+    IssueSplitPoint,
+    PartitionPoint,
+    run_bypass_ablation,
+    run_code_expansion_ablation,
+    run_issue_split_ablation,
+    run_partition_ablation,
+)
+from .esw_study import EswStudyRow, run_esw_study
+from .ewr_figures import EwrCurve, EwrFigure, run_ewr_figure
+from .formatting import render_plot, render_table
+from .lab import UNLIMITED, Lab
+from .scales import (
+    EWR_DIFFERENTIALS,
+    EWR_WINDOWS,
+    FIGURE_PROGRAMS,
+    PRESETS,
+    SPEEDUP_DIFFERENTIALS,
+    SPEEDUP_WINDOWS,
+    TABLE1_WINDOWS,
+    ScalePreset,
+    active_preset,
+)
+from .speedup_figures import SpeedupCurve, SpeedupFigure, run_speedup_figure
+from .table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "BypassPoint",
+    "EWR_DIFFERENTIALS",
+    "EWR_WINDOWS",
+    "EswStudyRow",
+    "EwrCurve",
+    "EwrFigure",
+    "ExpansionPoint",
+    "FIGURE_PROGRAMS",
+    "IssueSplitPoint",
+    "Lab",
+    "PRESETS",
+    "PartitionPoint",
+    "SPEEDUP_DIFFERENTIALS",
+    "SPEEDUP_WINDOWS",
+    "ScalePreset",
+    "SpeedupCurve",
+    "SpeedupFigure",
+    "TABLE1_WINDOWS",
+    "Table1Result",
+    "Table1Row",
+    "UNLIMITED",
+    "active_preset",
+    "render_plot",
+    "render_table",
+    "run_bypass_ablation",
+    "run_code_expansion_ablation",
+    "run_esw_study",
+    "run_ewr_figure",
+    "run_issue_split_ablation",
+    "run_partition_ablation",
+    "run_speedup_figure",
+    "run_table1",
+]

@@ -1,0 +1,223 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four studies, each tied to a discussion point in the paper:
+
+* **issue split** — the DM's combined issue width of 9 can be divided
+  between the AU and DU in eight ways; the paper adopts 4+5, citing a
+  companion study that found it optimal. This sweep re-derives that.
+* **partition strategy** — the paper's future work asks how the
+  division of code between the units affects performance: the slice
+  partition vs. a memory-only partition vs. a balance-driven one.
+* **bypass buffer** — the paper's future work proposes a bypass that
+  captures the temporal locality exposed by decoupling.
+* **code expansion** — the paper's future work asks how the instruction
+  overhead of unrolling affects the DM and SWSM differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DMConfig, SWSMConfig
+from ..ir.transforms import expand_code
+from ..machines import DecoupledMachine, SuperscalarMachine
+from ..memory import BypassBuffer, FixedLatencyMemory
+from ..partition import Unit, lower_swsm
+from ..partition.strategies import PARTITION_STRATEGIES, partition_with_strategy
+from .lab import Lab
+
+__all__ = [
+    "IssueSplitPoint",
+    "run_issue_split_ablation",
+    "PartitionPoint",
+    "run_partition_ablation",
+    "BypassPoint",
+    "run_bypass_ablation",
+    "ExpansionPoint",
+    "run_code_expansion_ablation",
+]
+
+
+@dataclass(frozen=True)
+class IssueSplitPoint:
+    program: str
+    au_width: int
+    du_width: int
+    cycles: int
+
+
+def run_issue_split_ablation(
+    lab: Lab,
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    combined_width: int = 9,
+) -> list[IssueSplitPoint]:
+    """DM cycles for every AU/DU division of the combined issue width."""
+    compiled = lab.dm_compiled(program)
+    points = []
+    for au_width in range(1, combined_width):
+        du_width = combined_width - au_width
+        machine = DecoupledMachine(
+            DMConfig.symmetric(
+                window,
+                au_width=au_width,
+                du_width=du_width,
+                latencies=lab.latencies,
+            )
+        )
+        result = machine.run(compiled, memory_differential=memory_differential)
+        points.append(
+            IssueSplitPoint(
+                program=program,
+                au_width=au_width,
+                du_width=du_width,
+                cycles=result.cycles,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class PartitionPoint:
+    program: str
+    strategy: str
+    cycles: int
+    au_instructions: int
+    du_instructions: int
+
+
+def run_partition_ablation(
+    lab: Lab,
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+) -> list[PartitionPoint]:
+    """DM cycles under each partitioning strategy."""
+    source = lab.program(program)
+    machine = DecoupledMachine(
+        DMConfig.symmetric(
+            window,
+            au_width=lab.au_width,
+            du_width=lab.du_width,
+            latencies=lab.latencies,
+        )
+    )
+    points = []
+    for strategy in PARTITION_STRATEGIES:
+        compiled = partition_with_strategy(source, strategy, lab.latencies)
+        result = machine.run(compiled, memory_differential=memory_differential)
+        counts = compiled.unit_counts()
+        points.append(
+            PartitionPoint(
+                program=program,
+                strategy=strategy,
+                cycles=result.cycles,
+                au_instructions=counts[Unit.AU],
+                du_instructions=counts[Unit.DU],
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class BypassPoint:
+    program: str
+    entries: int  # 0 means no bypass
+    cycles: int
+    hit_rate: float
+
+
+def run_bypass_ablation(
+    lab: Lab,
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    entry_counts: tuple[int, ...] = (0, 16, 64, 256),
+) -> list[BypassPoint]:
+    """DM cycles with bypass buffers of increasing size."""
+    compiled = lab.dm_compiled(program)
+    machine = DecoupledMachine(
+        DMConfig.symmetric(
+            window,
+            au_width=lab.au_width,
+            du_width=lab.du_width,
+            latencies=lab.latencies,
+        )
+    )
+    points = []
+    for entries in entry_counts:
+        if entries == 0:
+            memory = FixedLatencyMemory(memory_differential)
+            result = machine.run(compiled, memory=memory)
+            hit_rate = 0.0
+        else:
+            bypass = BypassBuffer(
+                FixedLatencyMemory(memory_differential),
+                entries=entries,
+                line_bytes=1,
+            )
+            result = machine.run(compiled, memory=bypass)
+            hit_rate = bypass.hit_rate
+        points.append(
+            BypassPoint(
+                program=program,
+                entries=entries,
+                cycles=result.cycles,
+                hit_rate=hit_rate,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ExpansionPoint:
+    program: str
+    fraction: float
+    dm_cycles: int
+    swsm_cycles: int
+
+    @property
+    def dm_over_swsm(self) -> float:
+        return self.swsm_cycles / self.dm_cycles
+
+
+def run_code_expansion_ablation(
+    lab: Lab,
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5),
+) -> list[ExpansionPoint]:
+    """DM vs SWSM cycles as bookkeeping overhead is added."""
+    source = lab.program(program)
+    dm = DecoupledMachine(
+        DMConfig.symmetric(
+            window,
+            au_width=lab.au_width,
+            du_width=lab.du_width,
+            latencies=lab.latencies,
+        )
+    )
+    swsm = SuperscalarMachine(
+        SWSMConfig(window=window, width=lab.swsm_width, latencies=lab.latencies)
+    )
+    points = []
+    for fraction in fractions:
+        expanded = expand_code(source, fraction)
+        dm_cycles = dm.run_program(
+            expanded, memory_differential=memory_differential
+        ).cycles
+        swsm_compiled = lower_swsm(expanded, lab.latencies)
+        swsm_cycles = swsm.run(
+            swsm_compiled, memory_differential=memory_differential
+        ).cycles
+        points.append(
+            ExpansionPoint(
+                program=program,
+                fraction=fraction,
+                dm_cycles=dm_cycles,
+                swsm_cycles=swsm_cycles,
+            )
+        )
+    return points

@@ -1,0 +1,88 @@
+"""Figures 7-9: equivalent window ratio versus DM window size.
+
+For each memory differential (0-60 in steps of 10) and each DM window
+size, find the SWSM window giving the same execution time and report
+the ratio of the two. The paper's claims checked here:
+
+* the ratio grows with the memory differential (more effective DM
+  prefetching means the SWSM needs ever larger windows);
+* the ratio falls as the DM window grows (a big enough SWSM window
+  re-orders as well as the DM and enjoys the wider issue width);
+* at a realistic DM window and MD = 60 the ratio lies roughly in the
+  paper's 2x-4x range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProjectionError
+from ..metrics import find_equivalent_window
+from .lab import Lab
+from .scales import EWR_DIFFERENTIALS, EWR_WINDOWS
+
+__all__ = ["EwrCurve", "EwrFigure", "run_ewr_figure"]
+
+
+@dataclass(frozen=True)
+class EwrCurve:
+    """Equivalent-window ratios for one memory differential."""
+
+    memory_differential: int
+    dm_windows: tuple[int, ...]
+    ratios: tuple[float, ...]  # NaN where the SWSM could not match
+
+    def at(self, dm_window: int) -> float:
+        return self.ratios[self.dm_windows.index(dm_window)]
+
+
+@dataclass(frozen=True)
+class EwrFigure:
+    """All differential curves of one figure."""
+
+    program: str
+    dm_windows: tuple[int, ...]
+    curves: tuple[EwrCurve, ...]
+
+    def curve(self, memory_differential: int) -> EwrCurve:
+        for candidate in self.curves:
+            if candidate.memory_differential == memory_differential:
+                return candidate
+        raise KeyError(f"no curve for md={memory_differential}")
+
+
+def run_ewr_figure(
+    lab: Lab,
+    program: str,
+    dm_windows: tuple[int, ...] = EWR_WINDOWS,
+    differentials: tuple[int, ...] = EWR_DIFFERENTIALS,
+    max_swsm_window: int = 4096,
+) -> EwrFigure:
+    """Reproduce one of figures 7-9."""
+    curves = []
+    for md in differentials:
+        def evaluate(window: int, _md: int = md) -> int:
+            return lab.swsm_cycles(program, window, _md)
+
+        ratios = []
+        for dm_window in dm_windows:
+            target = lab.dm_cycles(program, dm_window, md)
+            try:
+                equivalent = find_equivalent_window(
+                    evaluate,
+                    target,
+                    start=max(4, dm_window),
+                    max_window=max_swsm_window,
+                )
+            except ProjectionError:
+                ratios.append(float("nan"))
+            else:
+                ratios.append(equivalent / dm_window)
+        curves.append(
+            EwrCurve(
+                memory_differential=md,
+                dm_windows=dm_windows,
+                ratios=tuple(ratios),
+            )
+        )
+    return EwrFigure(program=program, dm_windows=dm_windows, curves=tuple(curves))

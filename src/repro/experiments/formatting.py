@@ -1,0 +1,105 @@
+"""ASCII rendering of tables and figures for terminal output.
+
+The benchmark harness prints the same rows and series the paper
+reports; these helpers keep that output readable without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_plot"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(headers[i].ljust(widths[i]) for i in range(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.2f}"
+    if value is None:
+        return "unl"
+    return str(value)
+
+
+def render_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "x",
+    height: int = 16,
+    width: int = 72,
+) -> str:
+    """Multi-series ASCII line plot (one letter marker per series)."""
+    if not series:
+        raise ValueError("at least one series is required")
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    points: list[tuple[float, float, str]] = []
+    for index, (name, ys) in enumerate(series.items()):
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} xs"
+            )
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, ys):
+            if not math.isnan(y):
+                points.append((float(x), float(y), marker))
+    if not points:
+        return f"{title}\n(no finite data)"
+
+    x_low, x_high = min(p[0] for p in points), max(p[0] for p in points)
+    y_low, y_high = min(p[1] for p in points), max(p[1] for p in points)
+    y_low = min(y_low, 0.0)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, name in enumerate(series):
+        lines.append(f"  {markers[index % len(markers)]} = {name}")
+    lines.append(f"{y_high:10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_low:10.2f} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_low:<10.0f}{x_label:^{max(0, width - 20)}}{x_high:>10.0f}"
+    )
+    return "\n".join(lines)

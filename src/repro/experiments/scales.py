@@ -1,0 +1,91 @@
+"""Scale presets and sweep grids shared by the experiment drivers.
+
+The paper's axes: window sizes 0-100 for the speedup figures, DM
+windows 10-100 for the equivalent-window figures, memory differentials
+0-60 in steps of 10, and Table 1 window columns up to "unlimited".
+The exact Table 1 column values are not legible in the source text;
+the powers-of-two ladder below is the documented reproduction choice.
+
+The ``REPRO_SCALE`` environment variable selects a preset globally
+(``tiny`` for CI-speed checks, ``small`` for the benchmark harness,
+``paper`` for full-fidelity runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ScalePreset",
+    "PRESETS",
+    "active_preset",
+    "SPEEDUP_WINDOWS",
+    "EWR_WINDOWS",
+    "TABLE1_WINDOWS",
+    "SPEEDUP_DIFFERENTIALS",
+    "EWR_DIFFERENTIALS",
+    "FIGURE_PROGRAMS",
+]
+
+#: Window axis of figures 4-6 (0-100 in the paper).
+SPEEDUP_WINDOWS = (4, 8, 12, 16, 24, 32, 48, 64, 80, 100)
+
+#: DM-window axis of figures 7-9 (10-100 in the paper).
+EWR_WINDOWS = (10, 20, 32, 48, 64, 80, 100)
+
+#: Table 1 columns; ``None`` is the paper's "unlimited" column.
+TABLE1_WINDOWS = (8, 16, 32, 64, 128, 256, None)
+
+#: Figures 4-6 plot md=0 and md=60.
+SPEEDUP_DIFFERENTIALS = (0, 60)
+
+#: Figures 7-9 sweep md=0..60 in steps of 10.
+EWR_DIFFERENTIALS = (0, 10, 20, 30, 40, 50, 60)
+
+#: The three representative programs of the figures.
+FIGURE_PROGRAMS = ("flo52q", "mdg", "track")
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """A named trade-off between fidelity and wall-clock time."""
+
+    name: str
+    scale: int  # architectural instructions per kernel
+    speedup_windows: tuple[int, ...] = SPEEDUP_WINDOWS
+    ewr_windows: tuple[int, ...] = EWR_WINDOWS
+    ewr_differentials: tuple[int, ...] = EWR_DIFFERENTIALS
+
+
+PRESETS = {
+    "tiny": ScalePreset(
+        name="tiny",
+        scale=3_000,
+        speedup_windows=(4, 16, 48, 100),
+        ewr_windows=(16, 48),
+        ewr_differentials=(0, 30, 60),
+    ),
+    "small": ScalePreset(
+        name="small",
+        scale=12_000,
+        speedup_windows=(4, 8, 16, 32, 64, 100),
+        ewr_windows=(10, 20, 32, 64, 100),
+        ewr_differentials=(0, 20, 40, 60),
+    ),
+    "paper": ScalePreset(name="paper", scale=40_000),
+}
+
+
+def active_preset(default: str = "small") -> ScalePreset:
+    """The preset selected by ``REPRO_SCALE`` (or the given default)."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigError(
+            f"unknown REPRO_SCALE={name!r}; known presets: {known}"
+        ) from None

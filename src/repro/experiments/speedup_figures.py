@@ -1,0 +1,95 @@
+"""Figures 4-6: speedup versus window size for the DM and the SWSM.
+
+Each figure plots four curves for one program — DM and SWSM at memory
+differentials of 0 and 60 — against window size. The paper's claims
+checked here:
+
+* at MD = 0 the DM wins at small windows and the SWSM overtakes at a
+  cutoff window (its full issue width becomes usable);
+* at MD = 60 the DM wins at *every* window size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lab import Lab
+from .scales import SPEEDUP_DIFFERENTIALS, SPEEDUP_WINDOWS
+
+__all__ = ["SpeedupCurve", "SpeedupFigure", "run_speedup_figure"]
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    """One (machine, memory differential) curve."""
+
+    machine: str  # "DM" or "SWSM"
+    memory_differential: int
+    windows: tuple[int, ...]
+    speedups: tuple[float, ...]
+
+    def at(self, window: int) -> float:
+        return self.speedups[self.windows.index(window)]
+
+
+@dataclass(frozen=True)
+class SpeedupFigure:
+    """All four curves of one figure."""
+
+    program: str
+    windows: tuple[int, ...]
+    curves: tuple[SpeedupCurve, ...]
+
+    def curve(self, machine: str, memory_differential: int) -> SpeedupCurve:
+        for candidate in self.curves:
+            if (
+                candidate.machine == machine
+                and candidate.memory_differential == memory_differential
+            ):
+                return candidate
+        raise KeyError(f"no curve for {machine} at md={memory_differential}")
+
+    def crossover_window(self, memory_differential: int) -> int | None:
+        """First window where the SWSM performs at least as well as the DM.
+
+        Returns ``None`` if the DM wins everywhere (the paper's MD = 60
+        result).
+        """
+        dm = self.curve("DM", memory_differential)
+        swsm = self.curve("SWSM", memory_differential)
+        for window in self.windows:
+            if swsm.at(window) >= dm.at(window):
+                return window
+        return None
+
+
+def run_speedup_figure(
+    lab: Lab,
+    program: str,
+    windows: tuple[int, ...] = SPEEDUP_WINDOWS,
+    differentials: tuple[int, ...] = SPEEDUP_DIFFERENTIALS,
+) -> SpeedupFigure:
+    """Reproduce one of figures 4-6."""
+    curves = []
+    for md in differentials:
+        curves.append(
+            SpeedupCurve(
+                machine="DM",
+                memory_differential=md,
+                windows=windows,
+                speedups=tuple(
+                    lab.dm_speedup(program, window, md) for window in windows
+                ),
+            )
+        )
+        curves.append(
+            SpeedupCurve(
+                machine="SWSM",
+                memory_differential=md,
+                windows=windows,
+                speedups=tuple(
+                    lab.swsm_speedup(program, window, md) for window in windows
+                ),
+            )
+        )
+    return SpeedupFigure(program=program, windows=windows, curves=tuple(curves))

@@ -1,0 +1,79 @@
+"""Table 1: latency-hiding effectiveness of the DM at MD = 60.
+
+Rows are the seven PERFECT-club programs; columns are DM window sizes
+(both unit windows set to the column value), ending with the unlimited
+window that defines the paper's high/moderate/poor bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_MEMORY_DIFFERENTIAL
+from ..kernels import PAPER_ORDER, get_kernel
+from ..metrics import classify_band
+from .lab import Lab
+from .scales import TABLE1_WINDOWS
+
+__all__ = ["Table1Row", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """LHE of one program across the window columns."""
+
+    program: str
+    lhe_by_window: dict[int | None, float]
+    expected_band: str
+
+    @property
+    def unlimited_lhe(self) -> float:
+        return self.lhe_by_window[None]
+
+    @property
+    def measured_band(self) -> str:
+        return classify_band(self.unlimited_lhe)
+
+    @property
+    def band_matches(self) -> bool:
+        return self.measured_band == self.expected_band
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The full reproduced table."""
+
+    memory_differential: int
+    windows: tuple[int | None, ...]
+    rows: tuple[Table1Row, ...]
+
+    @property
+    def bands_correct(self) -> int:
+        return sum(1 for row in self.rows if row.band_matches)
+
+
+def run_table1(
+    lab: Lab,
+    programs: tuple[str, ...] = PAPER_ORDER,
+    windows: tuple[int | None, ...] = TABLE1_WINDOWS,
+    memory_differential: int = DEFAULT_MEMORY_DIFFERENTIAL,
+) -> Table1Result:
+    """Reproduce Table 1 on the given lab."""
+    rows = []
+    for name in programs:
+        lhe_by_window = {
+            window: lab.dm_lhe(name, window, memory_differential)
+            for window in windows
+        }
+        rows.append(
+            Table1Row(
+                program=name,
+                lhe_by_window=lhe_by_window,
+                expected_band=get_kernel(name).band,
+            )
+        )
+    return Table1Result(
+        memory_differential=memory_differential,
+        windows=tuple(windows),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,19 @@
+"""Architectural IR: opcodes, instructions, programs, and the kernel DSL."""
+
+from .builder import ArrayHandle, KernelBuilder
+from .instruction import Instruction, Value
+from .program import Program, ProgramStats
+from .types import OPCODE_CLASS, OpClass, Opcode, opcode_latency
+
+__all__ = [
+    "ArrayHandle",
+    "KernelBuilder",
+    "Instruction",
+    "Value",
+    "Program",
+    "ProgramStats",
+    "OpClass",
+    "Opcode",
+    "OPCODE_CLASS",
+    "opcode_latency",
+]

@@ -1,0 +1,195 @@
+"""The :class:`Program` container: an architectural instruction trace.
+
+A program is an immutable (by convention) list of instructions in
+program order together with summary statistics and dependence-graph
+helpers used by the partitioner, the machine models and the analytic
+sanity checks in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..config import DEFAULT_LATENCIES, LatencyModel
+from ..errors import IRValidationError
+from .instruction import Instruction
+from .types import OpClass, opcode_latency
+
+__all__ = ["Program", "ProgramStats"]
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Instruction-mix statistics for a program."""
+
+    total: int
+    int_ops: int
+    fp_ops: int
+    loads: int
+    stores: int
+
+    @property
+    def memory_ops(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.memory_ops / self.total if self.total else 0.0
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.fp_ops / self.total if self.total else 0.0
+
+
+class Program(Sequence[Instruction]):
+    """An architectural trace in program order.
+
+    Args:
+        name: identifies the workload (e.g. ``"flo52q"``).
+        instructions: trace in program order; instruction ``i`` must
+            have ``index == i`` and only reference earlier instructions.
+        meta: free-form metadata recorded by the generator (parameters,
+            seed, scale) so a result is fully reproducible.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instruction],
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.instructions = list(instructions)
+        self.meta: dict[str, object] = dict(meta or {})
+
+    # -- Sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, item):  # type: ignore[override]
+        return self.instructions[item]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self)} instructions)"
+
+    # -- statistics ---------------------------------------------------------
+
+    @cached_property
+    def stats(self) -> ProgramStats:
+        counts = {cls: 0 for cls in OpClass}
+        for inst in self.instructions:
+            counts[inst.op_class] += 1
+        return ProgramStats(
+            total=len(self.instructions),
+            int_ops=counts[OpClass.INT],
+            fp_ops=counts[OpClass.FP],
+            loads=counts[OpClass.LOAD],
+            stores=counts[OpClass.STORE],
+        )
+
+    # -- dependence helpers ---------------------------------------------------
+
+    @cached_property
+    def consumers(self) -> list[list[int]]:
+        """For each instruction, the indices of instructions that use it.
+
+        Includes memory-ordering (store -> load) edges.
+        """
+        out: list[list[int]] = [[] for _ in self.instructions]
+        for inst in self.instructions:
+            for dep in inst.all_deps():
+                out[dep].append(inst.index)
+        return out
+
+    def validate(self) -> None:
+        """Raise :class:`IRValidationError` unless the trace is well formed."""
+        for i, inst in enumerate(self.instructions):
+            if inst.index != i:
+                raise IRValidationError(
+                    f"instruction at position {i} has index {inst.index}"
+                )
+            for dep in inst.all_deps():
+                if not 0 <= dep < i:
+                    raise IRValidationError(
+                        f"instruction {i} depends on {dep}, which is not an "
+                        "earlier instruction"
+                    )
+            if inst.is_memory and inst.addr is None:
+                raise IRValidationError(f"memory instruction {i} has no address")
+            if not inst.is_memory and inst.addr is not None:
+                raise IRValidationError(
+                    f"non-memory instruction {i} has an address"
+                )
+            if not inst.is_memory and inst.addr_src is not None:
+                raise IRValidationError(
+                    f"non-memory instruction {i} has an address dependency"
+                )
+            if inst.mem_dep is not None:
+                dep_inst = self.instructions[inst.mem_dep]
+                if dep_inst.op_class is not OpClass.STORE:
+                    raise IRValidationError(
+                        f"mem_dep of instruction {i} is not a store"
+                    )
+
+    # -- analytic timing bounds ----------------------------------------------
+
+    def critical_path(
+        self,
+        memory_differential: int,
+        latencies: LatencyModel = DEFAULT_LATENCIES,
+    ) -> int:
+        """Dataflow critical-path length in cycles.
+
+        Uses the architectural latencies with loads costing
+        ``mem_base + md`` cycles. This is a lower bound on any machine's
+        execution time with these latencies and infinite resources, and
+        is used by tests and by the analytic models in the docs.
+        """
+        if memory_differential < 0:
+            raise IRValidationError("memory differential must be >= 0")
+        finish = [0] * len(self.instructions)
+        longest = 0
+        for inst in self.instructions:
+            start = 0
+            for dep in inst.all_deps():
+                if finish[dep] > start:
+                    start = finish[dep]
+            cost = self._serial_cost(inst, memory_differential, latencies)
+            finish[inst.index] = start + cost
+            if finish[inst.index] > longest:
+                longest = finish[inst.index]
+        return longest
+
+    def serial_time(
+        self,
+        memory_differential: int,
+        latencies: LatencyModel = DEFAULT_LATENCIES,
+    ) -> int:
+        """Execution time of the non-overlapped serial reference machine.
+
+        Each instruction costs its full latency and the next starts only
+        when it completes; loads cost ``mem_base + md``. This is the
+        denominator of the paper's speedup metric.
+        """
+        if memory_differential < 0:
+            raise IRValidationError("memory differential must be >= 0")
+        return sum(
+            self._serial_cost(inst, memory_differential, latencies)
+            for inst in self.instructions
+        )
+
+    @staticmethod
+    def _serial_cost(
+        inst: Instruction, memory_differential: int, latencies: LatencyModel
+    ) -> int:
+        if inst.op_class is OpClass.LOAD:
+            return latencies.mem_base + memory_differential
+        if inst.op_class is OpClass.STORE:
+            return latencies.store
+        return opcode_latency(inst.opcode, latencies)

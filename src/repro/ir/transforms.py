@@ -1,0 +1,104 @@
+"""IR-to-IR transforms.
+
+Currently one transform: *code expansion*, modelling the instruction
+overhead of the software techniques the paper assumes (aggressive loop
+unrolling and software pipelining add bookkeeping instructions). The
+paper's future-work section proposes studying how code expansion
+affects the two machines; the expansion transform plus the ablation
+benchmark implement that study.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRValidationError
+from .instruction import Instruction
+from .program import Program
+from .types import Opcode
+
+__all__ = ["expand_code"]
+
+
+def expand_code(
+    program: Program, fraction: float, chain: bool = True
+) -> Program:
+    """Insert bookkeeping integer instructions, evenly spread.
+
+    Args:
+        program: source trace.
+        fraction: overhead as a fraction of the original instruction
+            count (0.25 inserts one bookkeeping op per four original
+            instructions).
+        chain: if true, each inserted op depends on the previously
+            inserted one (an unrolled induction/bookkeeping chain);
+            otherwise inserted ops are fully independent.
+
+    Returns:
+        A new program named ``<name>+exp<percent>`` with all original
+        dependencies re-indexed around the insertions.
+    """
+    if not 0.0 <= fraction <= 4.0:
+        raise IRValidationError(
+            f"expansion fraction must be in [0, 4], got {fraction}"
+        )
+    if fraction == 0.0:
+        return program
+
+    total_inserted = round(len(program) * fraction)
+    if total_inserted == 0:
+        return program
+
+    # Positions (in original-index space) after which to insert.
+    step = len(program) / total_inserted
+    insert_after = [min(len(program) - 1, int((k + 1) * step) - 1)
+                    for k in range(total_inserted)]
+
+    new_instructions: list[Instruction] = []
+    index_map: dict[int, int] = {}
+    previous_inserted: int | None = None
+    insertion_cursor = 0
+
+    def remap(values: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(index_map[v] for v in values)
+
+    for inst in program:
+        new_index = len(new_instructions)
+        index_map[inst.index] = new_index
+        new_instructions.append(
+            Instruction(
+                index=new_index,
+                opcode=inst.opcode,
+                srcs=remap(inst.srcs),
+                addr_src=None if inst.addr_src is None
+                else index_map[inst.addr_src],
+                addr=inst.addr,
+                mem_dep=None if inst.mem_dep is None
+                else index_map[inst.mem_dep],
+                tag=inst.tag,
+            )
+        )
+        while (
+            insertion_cursor < total_inserted
+            and insert_after[insertion_cursor] == inst.index
+        ):
+            overhead_index = len(new_instructions)
+            srcs: tuple[int, ...] = ()
+            if chain and previous_inserted is not None:
+                srcs = (previous_inserted,)
+            new_instructions.append(
+                Instruction(
+                    index=overhead_index,
+                    opcode=Opcode.IADD,
+                    srcs=srcs,
+                    tag="expansion",
+                )
+            )
+            previous_inserted = overhead_index
+            insertion_cursor += 1
+
+    expanded = Program(
+        f"{program.name}+exp{round(fraction * 100)}",
+        new_instructions,
+        meta={**program.meta, "expansion_fraction": fraction},
+    )
+    expanded.validate()
+    return expanded

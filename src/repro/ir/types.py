@@ -1,0 +1,108 @@
+"""Core IR enumerations: operation classes and opcodes.
+
+The architectural IR describes a program trace *before* it is mapped to
+either machine: integer/address arithmetic, floating-point arithmetic,
+loads and stores. Machine-level operation kinds (load-issue, receive,
+prefetch, access, copies between register files) appear only after
+partitioning/lowering and live in :mod:`repro.partition.machine_program`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..config import LatencyModel
+from ..errors import IRValidationError
+
+__all__ = ["OpClass", "Opcode", "OPCODE_CLASS", "opcode_latency"]
+
+
+class OpClass(enum.Enum):
+    """Architectural operation classes."""
+
+    INT = "int"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+class Opcode(enum.Enum):
+    """Architectural opcodes.
+
+    Opcodes exist mainly for trace readability and latency selection;
+    the simulators schedule on :class:`OpClass` plus latency.
+    """
+
+    # Integer / address arithmetic (1 cycle).
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IAND = "iand"
+    IOR = "ior"
+    SHIFT = "shift"
+    CMP = "cmp"
+    SELECT = "select"
+    CVT_F2I = "cvt.f2i"
+
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FMA = "fma"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FNEG = "fneg"
+    FMAX = "fmax"
+    CVT_I2F = "cvt.i2f"
+
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+
+
+OPCODE_CLASS: dict[Opcode, OpClass] = {
+    Opcode.IADD: OpClass.INT,
+    Opcode.ISUB: OpClass.INT,
+    Opcode.IMUL: OpClass.INT,
+    Opcode.IAND: OpClass.INT,
+    Opcode.IOR: OpClass.INT,
+    Opcode.SHIFT: OpClass.INT,
+    Opcode.CMP: OpClass.INT,
+    Opcode.SELECT: OpClass.INT,
+    Opcode.CVT_F2I: OpClass.INT,
+    Opcode.FADD: OpClass.FP,
+    Opcode.FSUB: OpClass.FP,
+    Opcode.FMUL: OpClass.FP,
+    Opcode.FMA: OpClass.FP,
+    Opcode.FDIV: OpClass.FP,
+    Opcode.FSQRT: OpClass.FP,
+    Opcode.FNEG: OpClass.FP,
+    Opcode.FMAX: OpClass.FP,
+    Opcode.CVT_I2F: OpClass.FP,
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+}
+
+_LONG_FP = frozenset({Opcode.FDIV, Opcode.FSQRT})
+
+
+def opcode_latency(opcode: Opcode, latencies: LatencyModel) -> int:
+    """Execution latency of an architectural opcode.
+
+    Memory opcodes have no single architectural latency (it depends on
+    the machine and the memory differential), so asking for one is an
+    error; the machine models compute memory timing themselves.
+    """
+    op_class = OPCODE_CLASS[opcode]
+    if op_class is OpClass.INT:
+        return latencies.int_op
+    if op_class is OpClass.FP:
+        return latencies.fp_div if opcode in _LONG_FP else latencies.fp_op
+    raise IRValidationError(
+        f"opcode {opcode.value!r} is a memory operation; its latency is "
+        "machine-dependent"
+    )

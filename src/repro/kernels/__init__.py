@@ -1,0 +1,26 @@
+"""Workload models: the seven PERFECT-club kernels plus synthetics.
+
+Importing this package registers the seven paper kernels.
+"""
+
+from . import adm, dyfesm, flo52q, mdg, qcd, track, trfd  # noqa: F401 - register
+from .base import (
+    PAPER_ORDER,
+    KernelSpec,
+    build_kernel,
+    get_kernel,
+    list_kernels,
+    register,
+)
+from .synthetic import SyntheticParams, build_synthetic_stream
+
+__all__ = [
+    "PAPER_ORDER",
+    "KernelSpec",
+    "SyntheticParams",
+    "build_kernel",
+    "build_synthetic_stream",
+    "get_kernel",
+    "list_kernels",
+    "register",
+]

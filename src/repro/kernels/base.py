@@ -1,0 +1,101 @@
+"""Kernel registry: the workload models stand in for the PERFECT club.
+
+The paper traces seven PERFECT Club programs (TRFD, ADM, FLO52Q,
+DYFESM, QCD, MDG, TRACK). Neither the Fortran sources' inputs nor the
+authors' tracing infrastructure are available, so each program is
+modelled by a synthetic kernel that reproduces the *dependence
+structure* of its dominant loops — the only property the paper's
+experiments observe. Each kernel module documents which structural
+features it models and which latency-hiding band the paper puts the
+program in.
+
+Kernels are pure functions of ``(scale, seed)`` and produce identical
+traces for identical arguments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from ..ir import Program
+
+__all__ = [
+    "Band",
+    "KernelSpec",
+    "register",
+    "get_kernel",
+    "list_kernels",
+    "build_kernel",
+    "PAPER_ORDER",
+]
+
+#: Latency-hiding effectiveness bands from the paper's Table 1.
+Band = str
+HIGH, MODERATE, POOR = "high", "moderate", "poor"
+
+#: Table 1 lists the programs in this order.
+PAPER_ORDER = ("trfd", "adm", "flo52q", "dyfesm", "qcd", "mdg", "track")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A registered workload model.
+
+    Attributes:
+        name: registry key (lower-case PERFECT program name).
+        title: the PERFECT Club program modelled.
+        description: which loops/structures the model captures.
+        band: expected latency-hiding band ("high" / "moderate" /
+            "poor") from the paper's Table 1 grouping.
+        build: ``(scale, seed) -> Program``; ``scale`` is the
+            approximate architectural instruction count.
+        default_seed: seed used when the caller does not pass one.
+    """
+
+    name: str
+    title: str
+    description: str
+    band: Band
+    build: Callable[[int, int], Program]
+    default_seed: int = 1997
+
+    def __call__(self, scale: int, seed: int | None = None) -> Program:
+        if scale < 100:
+            raise KernelError(
+                f"kernel {self.name!r}: scale must be >= 100, got {scale}"
+            )
+        return self.build(scale, self.default_seed if seed is None else seed)
+
+
+_REGISTRY: dict[str, KernelSpec] = {}
+
+
+def register(spec: KernelSpec) -> KernelSpec:
+    """Add a kernel to the registry (idempotent for identical specs)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise KernelError(f"kernel {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KernelError(f"unknown kernel {name!r}; known kernels: {known}") from None
+
+
+def list_kernels() -> list[str]:
+    """Registered kernel names, paper order first, extras alphabetically."""
+    extras = sorted(set(_REGISTRY) - set(PAPER_ORDER))
+    return [name for name in PAPER_ORDER if name in _REGISTRY] + extras
+
+
+def build_kernel(name: str, scale: int, seed: int | None = None) -> Program:
+    """Build a registered kernel's trace at the given scale."""
+    return get_kernel(name)(scale, seed)

@@ -1,0 +1,127 @@
+"""DYFESM: structural-dynamics finite-element solver (explicit stepping).
+
+DYFESM integrates the dynamics of a structure with an explicit
+finite-element scheme. Every time step has two phases: an *element
+loop* (fetch node indices from the connectivity table, gather nodal
+displacements, evaluate the element force through a moderate FP chain,
+scatter-accumulate into the global force vector) and a *node-update
+loop* (read the accumulated force, advance the displacement, store it
+back). Step ``t+1`` gathers the displacements step ``t`` wrote, so the
+trace carries a braid of store-to-load dependencies whose granularity
+is one time step over a fixed-size mesh.
+
+Structural features modelled:
+
+* connectivity self-loads gating the gather addresses (two-deep memory
+  chains on the AU);
+* gather/scatter indirection with shared nodes inside a step;
+* the cross-step memory braid: gather(t+1) <- disp-store(t) <-
+  force-load(t) <- force-store(t) <- gather(t) — several memory hops
+  per step that no window size can collapse, which is what caps the
+  achievable latency hiding at a moderate level;
+* a serial element-force chain of ~6 FP operations.
+
+Paper band: **moderately effective**.
+"""
+
+from __future__ import annotations
+
+from ..ir import KernelBuilder, Program
+from .base import MODERATE, KernelSpec, register
+
+__all__ = ["build_dyfesm", "DYFESM"]
+
+#: Elements in the (fixed-size) mesh processed each time step.
+_ELEMENTS = 24
+#: Nodes per element (rod elements).
+_NODES = 2
+#: Mesh nodes.
+_MESH_NODES = _ELEMENTS + 1
+#: Instructions per element: connectivity phase (iv + 2x(addr+load))
+#: plus element phase (iv + 2x(addr+load) gather + 13 FP
+#: + 2x(addr+load+fadd+addr+store) scatter).
+_PER_ELEMENT = 5 + (1 + 4 + 13 + 10)
+#: Instructions per node update: iv + (addr+load) force + 2 FP
+#: + (addr+store) disp.
+_PER_NODE = 1 + 2 + 2 + 2
+_PER_STEP = _ELEMENTS * _PER_ELEMENT + _MESH_NODES * _PER_NODE
+
+
+def build_dyfesm(scale: int, seed: int) -> Program:
+    """Build a DYFESM-like stepped FEM run of ~``scale`` instructions."""
+    steps = max(2, round(scale / _PER_STEP))
+    builder = KernelBuilder("dyfesm", seed=seed)
+    conn = builder.array("conn", _ELEMENTS * _NODES)
+    disp = builder.array("disp", _MESH_NODES)
+    force = builder.array("force", _MESH_NODES)
+    builder.set_meta(steps=steps, elements=_ELEMENTS, mesh_nodes=_MESH_NODES,
+                     model="explicit FEM time stepping")
+
+    iv = None
+    for _step in range(steps):
+        # Connectivity phase: fetch the whole step's node indices in one
+        # affine burst (real assemblers block the connectivity walk), so
+        # one memory round-trip gates a block of gathers rather than
+        # serialising element by element.
+        step_indices: list[list] = []
+        for e in range(_ELEMENTS):
+            iv = builder.induction(iv, tag="conn")
+            step_indices.append([
+                builder.load(conn, e * _NODES + k, iv, tag="conn")
+                for k in range(_NODES)
+            ])
+        # Element loop: gather, force evaluation, scatter-accumulate.
+        for e in range(_ELEMENTS):
+            iv = builder.induction(iv, tag="elem")
+            node_ids = [e, e + 1]  # rod mesh: adjacent elements share a node
+            index_values = step_indices[e]
+            gathered = []
+            for k, node in enumerate(node_ids):
+                # The first node of each rod follows the structured
+                # numbering (affine); the second goes through the
+                # connectivity value (a gated, two-deep memory chain).
+                if k == 0:
+                    gathered.append(builder.load(disp, node, iv, tag="gather"))
+                else:
+                    gathered.append(builder.load(disp, node, iv,
+                                                 index_values[k],
+                                                 tag="gather"))
+            # Element force: a ~6-deep strain/stress chain plus parallel
+            # mass and damping terms joined at the end.
+            t1 = builder.fsub(gathered[0], gathered[1], tag="force")
+            t2 = builder.fmul(t1, t1, tag="force")
+            t3 = builder.fadd(t2, gathered[0], tag="force")
+            t4 = builder.fmul(t3, t1, tag="force")
+            t5 = builder.fadd(t4, t2, tag="force")
+            t6 = builder.fmul(t5, t3, tag="force")
+            m1 = builder.fmul(gathered[0], gathered[0], tag="mass")
+            m2 = builder.fmul(gathered[1], gathered[1], tag="mass")
+            m3 = builder.fadd(m1, m2, tag="mass")
+            damp1 = builder.fadd(gathered[0], gathered[1], tag="damp")
+            damp2 = builder.fmul(damp1, damp1, tag="damp")
+            joined = builder.fadd(t6, m3, tag="force")
+            contribution = builder.fadd(joined, damp2, tag="force")
+            for k, node in enumerate(node_ids):
+                old = builder.load(force, node, iv, index_values[k], tag="rmw")
+                new = builder.fadd(old, contribution, tag="rmw")
+                builder.store(force, node, new, iv, index_values[k], tag="rmw")
+        # Node-update loop: advance displacements from accumulated force.
+        for node in range(_MESH_NODES):
+            iv = builder.induction(iv, tag="node")
+            f = builder.load(force, node, iv, tag="update")
+            a = builder.fmul(f, f, tag="update")
+            d = builder.fadd(a, f, tag="update")
+            builder.store(disp, node, d, iv, tag="update")
+    return builder.build()
+
+
+DYFESM = register(
+    KernelSpec(
+        name="dyfesm",
+        title="DYFESM (structural dynamics FEM, PERFECT Club)",
+        description="explicit time stepping over a fixed mesh: gather / "
+        "force-chain / scatter-accumulate, then a node-update sweep",
+        band=MODERATE,
+        build=build_dyfesm,
+    )
+)

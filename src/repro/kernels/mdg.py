@@ -1,0 +1,123 @@
+"""MDG: molecular dynamics of liquid water (stepped pair-force loops).
+
+MDG advances a box of water molecules: every time step evaluates
+intermolecular forces over a neighbour pair list (gather positions,
+distance with a square root, potential, scatter-accumulate forces) and
+then integrates the positions. Step ``t+1`` gathers the positions step
+``t`` integrated, so the trace carries a cross-step memory braid over a
+fixed-size molecule set — the structural reason MDG hides latency only
+moderately well.
+
+Structural features modelled:
+
+* pair-list self-loads: two index loads per pair whose values feed the
+  gather addresses (two-deep memory chains on the AU);
+* randomised (seeded) pair targets with hot molecules, so the
+  scatter-accumulate read-modify-writes serialise irregularly;
+* an interaction chain ~9 FP deep including ``fsqrt``;
+* energy accumulation into rotating partial sums;
+* the position-integration loop closing the cross-step braid.
+
+Paper band: **moderately effective**.
+"""
+
+from __future__ import annotations
+
+from ..ir import KernelBuilder, Program, Value
+from .base import MODERATE, KernelSpec, register
+
+__all__ = ["build_mdg", "MDG"]
+
+#: Molecules in the (fixed-size) box.
+_MOLECULES = 24
+#: Interacting pairs evaluated per time step.
+_PAIRS_PER_STEP = 40
+#: Rotating partial sums for the energy reduction.
+_ACCUMULATORS = 4
+#: Instructions per pair: iv + 2x(addr+load) list + 2x(addr+load)
+#: gather + 12 FP + 1 energy fadd + 2x(addr+load+fadd+addr+store).
+_PER_PAIR = 1 + 4 + 4 + 12 + 1 + 10
+#: Instructions per molecule integration: iv + (addr+load) force
+#: + (addr+load) pos + 3 FP + (addr+store) pos.
+_PER_MOLECULE = 1 + 2 + 2 + 3 + 2
+_PER_STEP = _PAIRS_PER_STEP * _PER_PAIR + _MOLECULES * _PER_MOLECULE
+
+
+def build_mdg(scale: int, seed: int) -> Program:
+    """Build an MDG-like stepped MD run of roughly ``scale`` instructions."""
+    steps = max(2, round(scale / _PER_STEP))
+    builder = KernelBuilder("mdg", seed=seed)
+    pairlist = builder.array("pairlist", _PAIRS_PER_STEP * 2)
+    position = builder.array("position", _MOLECULES)
+    force = builder.array("force", _MOLECULES)
+    builder.set_meta(steps=steps, molecules=_MOLECULES,
+                     pairs_per_step=_PAIRS_PER_STEP,
+                     model="stepped neighbour-list water forces")
+
+    accumulators: list[Value | None] = [None] * _ACCUMULATORS
+    iv = None
+    for _step in range(steps):
+        for p in range(_PAIRS_PER_STEP):
+            iv = builder.induction(iv, tag="pair")
+            mol_i = builder.rng.randrange(_MOLECULES)
+            mol_j = builder.rng.randrange(_MOLECULES)
+            if mol_j == mol_i:
+                mol_j = (mol_i + 1) % _MOLECULES
+            # Neighbour-list indices: gating self-loads.
+            index_i = builder.load(pairlist, 2 * p, iv, tag="list")
+            index_j = builder.load(pairlist, 2 * p + 1, iv, tag="list")
+            xi = builder.load(position, mol_i, iv, index_i, tag="gather")
+            xj = builder.load(position, mol_j, iv, index_j, tag="gather")
+            # Interaction: the distance chain (with its square root) in
+            # series, and the polynomial potential terms in parallel,
+            # joined into the force magnitude.
+            d = builder.fsub(xi, xj, tag="inter")
+            d2 = builder.fmul(d, d, tag="inter")
+            p1 = builder.fmul(xi, xj, tag="poly")
+            p2 = builder.fadd(xi, xj, tag="poly")
+            p3 = builder.fmul(p1, p2, tag="poly")
+            p4 = builder.fadd(p3, p1, tag="poly")
+            p5 = builder.fmul(p2, p2, tag="poly")
+            energy = builder.fadd(d2, p4, tag="inter")
+            fmag = builder.fadd(energy, p5, tag="inter")
+            scaled = builder.fmul(fmag, d, tag="inter")
+            # The square-root distance feeds only the (off-critical-path)
+            # potential-energy tally, as in the real O-O interaction.
+            r = builder.fsqrt(d2, tag="inter")
+            inv = builder.fmul(r, r, tag="inter")
+            # Energy reduction into rotating partial sums.
+            slot = p % _ACCUMULATORS
+            previous = accumulators[slot]
+            accumulators[slot] = (
+                inv if previous is None
+                else builder.fadd(previous, inv, tag="energy")
+            )
+            # Scatter-accumulate forces on both molecules. The force
+            # array is indexed by the compacted local index (affine),
+            # so only the gathers pay the indirection.
+            for mol in (mol_i, mol_j):
+                old = builder.load(force, mol, iv, tag="rmw")
+                new = builder.fadd(old, scaled, tag="rmw")
+                builder.store(force, mol, new, iv, tag="rmw")
+        # Integration: advance every molecule from its accumulated force.
+        for mol in range(_MOLECULES):
+            iv = builder.induction(iv, tag="integrate")
+            f = builder.load(force, mol, iv, tag="update")
+            x = builder.load(position, mol, iv, tag="update")
+            v1 = builder.fmul(f, f, tag="update")
+            v2 = builder.fadd(v1, x, tag="update")
+            x_new = builder.fadd(v2, f, tag="update")
+            builder.store(position, mol, x_new, iv, tag="update")
+    return builder.build()
+
+
+MDG = register(
+    KernelSpec(
+        name="mdg",
+        title="MDG (molecular dynamics of water, PERFECT Club)",
+        description="stepped pair-list force loops with double index "
+        "self-loads, random gather/scatter and a position-integration braid",
+        band=MODERATE,
+        build=build_mdg,
+    )
+)

@@ -1,0 +1,98 @@
+"""QCD: lattice gauge theory (link updates with acceptance feedback).
+
+QCD evolves SU(3) gauge links on a 4-D lattice with a Metropolis
+update: gather the staple matrices around a link, compute the action
+change through deep matrix-product chains, and *accept or reject* the
+proposal — a decision that feeds back into which lattice site the
+sweep touches next (and into the random-number state).
+
+Structural features modelled:
+
+* structured multi-operand gathers per link (six operand loads);
+* deep serial FP chains (~9 dependent operations) standing in for the
+  3x3 complex matrix products;
+* the acceptance test: every ``_ACCEPT_PERIOD`` links a data value is
+  converted to an integer and used in the *addressing* of the next
+  group — a periodic DU -> AU crossing (loss of decoupling) that is
+  exactly the mechanism limiting QCD's latency hiding;
+* stores of the updated link.
+
+Paper band: **moderately effective**.
+"""
+
+from __future__ import annotations
+
+from ..ir import KernelBuilder, Program
+from .base import MODERATE, KernelSpec, register
+
+__all__ = ["build_qcd", "QCD"]
+
+#: Links between acceptance-driven address feedbacks.
+_ACCEPT_PERIOD = 12
+#: Instructions per link: iv + 6x(addr+load) + 14 FP + 2x(addr+store).
+_PER_LINK = 1 + 12 + 14 + 4
+
+
+def build_qcd(scale: int, seed: int) -> Program:
+    """Build a QCD-like link sweep of roughly ``scale`` instructions."""
+    links = max(_ACCEPT_PERIOD, scale // _PER_LINK)
+    sites = max(64, links // 2)
+    builder = KernelBuilder("qcd", seed=seed)
+    u = builder.array("u", sites * 4)
+    staple = builder.array("staple", sites * 4)
+    builder.set_meta(links=links, sites=sites,
+                     accept_period=_ACCEPT_PERIOD,
+                     model="Metropolis link updates with acceptance feedback")
+
+    iv = None
+    accept_gate = None  # integer value from the last acceptance decision
+    for link in range(links):
+        iv = builder.induction(iv, tag="link")
+        base = (link * 4) % (sites * 4 - 8)
+        # Only the first link after an acceptance decision has its site
+        # selection steered by the decision; the rest of the group
+        # follows the regular sweep order (affine).
+        gated = accept_gate is not None and link % _ACCEPT_PERIOD == 0
+        deps = (iv, accept_gate) if gated else (iv,)
+        operands = [
+            builder.load(u, base + k, *deps, tag="u") for k in range(3)
+        ] + [
+            builder.load(staple, base + k, *deps, tag="staple") for k in range(3)
+        ]
+        # SU(3)-flavoured serial chain (~9 dependent FP operations) ...
+        t = builder.fmul(operands[0], operands[3], tag="su3")
+        t = builder.fadd(t, operands[1], tag="su3")
+        t = builder.fmul(t, operands[4], tag="su3")
+        t = builder.fadd(t, operands[2], tag="su3")
+        t = builder.fmul(t, operands[5], tag="su3")
+        t = builder.fsub(t, operands[0], tag="su3")
+        t = builder.fmul(t, t, tag="su3")
+        action = builder.fadd(t, operands[3], tag="su3")
+        updated = builder.fmul(action, operands[1], tag="su3")
+        # ... plus the second staple contraction (independent 5-op chain).
+        s = builder.fmul(operands[1], operands[4], tag="staple2")
+        s = builder.fadd(s, operands[2], tag="staple2")
+        s = builder.fmul(s, operands[5], tag="staple2")
+        s = builder.fadd(s, operands[0], tag="staple2")
+        reunit = builder.fmul(s, s, tag="staple2")
+        builder.store(u, base, updated, iv, tag="out")
+        builder.store(u, base + 1, reunit, iv, tag="out")
+        if link % _ACCEPT_PERIOD == 0:
+            # Metropolis acceptance at the group's lead link: the data
+            # result steers the next group's site selection — a
+            # DU -> AU loss-of-decoupling event that threads a serial
+            # chain through one link per group.
+            accept_gate = builder.cvt_f2i(action, tag="accept")
+    return builder.build()
+
+
+QCD = register(
+    KernelSpec(
+        name="qcd",
+        title="QCD (lattice gauge theory, PERFECT Club)",
+        description="link updates with structured gathers, deep SU(3) "
+        "chains and periodic acceptance-driven address feedback",
+        band=MODERATE,
+        build=build_qcd,
+    )
+)

@@ -1,0 +1,106 @@
+"""Fully parameterised synthetic kernels for tests, studies and examples.
+
+Unlike the seven PERFECT-club models — whose structure is fixed by the
+programs they mimic — the synthetic stream exposes every structural
+knob directly: memory-operation mix, FP chain depth, self-load gating,
+and DU->AU feedback. The test-suite and the ablation benchmarks use it
+to isolate one mechanism at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from ..ir import KernelBuilder, Program
+
+__all__ = ["SyntheticParams", "build_synthetic_stream"]
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Structure of one synthetic work item (loop iteration).
+
+    Attributes:
+        loads: streaming loads per item.
+        stores: streaming stores per item.
+        chain_depth: length of the serial FP chain per item (0 means
+            the item has no FP work).
+        parallel_fp: additional independent FP operations per item.
+        gate_group: if positive, one self-load is emitted every
+            ``gate_group`` items and gates those items' addressing.
+        feedback_period: if positive, every ``feedback_period`` items
+            the FP result is converted to an integer and steers the
+            next items' addressing (a DU -> AU crossing).
+    """
+
+    loads: int = 2
+    stores: int = 1
+    chain_depth: int = 4
+    parallel_fp: int = 0
+    gate_group: int = 0
+    feedback_period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.loads < 1:
+            raise KernelError("synthetic stream needs at least one load")
+        if self.stores < 0 or self.chain_depth < 0 or self.parallel_fp < 0:
+            raise KernelError("synthetic stream parameters must be >= 0")
+        if self.gate_group < 0 or self.feedback_period < 0:
+            raise KernelError("synthetic stream parameters must be >= 0")
+
+    @property
+    def per_item(self) -> int:
+        """Architectural instructions per work item (without gates)."""
+        per = 1  # induction
+        per += 2 * self.loads + 2 * self.stores  # address + memory op
+        per += max(0, self.chain_depth - 1) + (1 if self.chain_depth else 0)
+        per += self.parallel_fp
+        return per
+
+
+def build_synthetic_stream(
+    scale: int,
+    params: SyntheticParams = SyntheticParams(),
+    seed: int = 0,
+    name: str = "synthetic",
+) -> Program:
+    """Build a synthetic streaming kernel of roughly ``scale`` instructions."""
+    items = max(2, scale // params.per_item)
+    builder = KernelBuilder(name, seed=seed)
+    source = builder.array("source", items * params.loads + 1)
+    sink = builder.array("sink", items * max(1, params.stores))
+    gates = builder.array("gates", max(1, items))
+    builder.set_meta(items=items, params=repr(params))
+
+    iv = None
+    gate = None
+    feedback = None
+    for item in range(items):
+        if params.gate_group and item % params.gate_group == 0:
+            gate = builder.load(gates, item % gates.length, tag="gate")
+        iv = builder.induction(iv, tag="item")
+        deps = [iv]
+        if gate is not None:
+            deps.append(gate)
+        if feedback is not None:
+            deps.append(feedback)
+        loaded = [
+            builder.load(source, (item * params.loads + k) % source.length,
+                         *deps, tag="stream")
+            for k in range(params.loads)
+        ]
+        value = loaded[0]
+        for depth in range(params.chain_depth):
+            operand = loaded[depth % len(loaded)]
+            value = builder.fadd(value, operand, tag="chain")
+        for k in range(params.parallel_fp):
+            builder.fmul(loaded[k % len(loaded)], loaded[0], tag="parfp")
+        for k in range(params.stores):
+            builder.store(sink, (item * params.stores + k) % sink.length,
+                          value if params.chain_depth else None,
+                          *deps, tag="out")
+        if params.feedback_period and (item + 1) % params.feedback_period == 0:
+            if params.chain_depth:
+                feedback = builder.cvt_f2i(value, tag="feedback")
+    return builder.build()

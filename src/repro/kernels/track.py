@@ -1,0 +1,125 @@
+"""TRACK: missile tracking (data-dependent observation addressing).
+
+TRACK correlates sensor observations with a small set of active tracks
+through a predict/match/update filter. The address of the observation
+a track examines next depends on where the filter *predicts* the
+target will be — i.e. on floating-point state computed in the previous
+step. This is the canonical loss-of-decoupling program: address
+computation chases data computation every step, and the paper reports
+both little parallelism and the smallest DM-over-SWSM gap.
+
+Structural features modelled:
+
+* a handful of concurrent tracks (the only parallelism);
+* a per-track recurrence: the filter state of step ``t`` feeds step
+  ``t+1`` (serial FP chains across the whole trace);
+* data-dependent addressing: the predicted position (FP) is converted
+  to an integer and used in the observation-load address — a DU -> AU
+  crossing *every step* of every track;
+* a small amount of independent smoothing work per step (history
+  loads and FP) so the machines have something to overlap.
+
+Paper band: **poorly effective**.
+"""
+
+from __future__ import annotations
+
+from ..ir import KernelBuilder, Program, Value
+from .base import POOR, KernelSpec, register
+
+__all__ = ["build_track", "TRACK"]
+
+#: Concurrent tracks (the program's total parallelism).
+_TRACKS = 4
+#: Instructions per (track, step): iv + cvt + 2x(addr+load) obs window
+#: + 8 FP filter chain + 6x(addr+load) history + 8 FP smooth
+#: + (addr+store) state.
+_PER_STEP = 1 + 1 + 4 + 8 + 12 + 8 + 2
+
+
+def build_track(scale: int, seed: int) -> Program:
+    """Build a TRACK-like filter run of roughly ``scale`` instructions."""
+    steps = max(4, round(scale / (_PER_STEP * _TRACKS)))
+    builder = KernelBuilder("track", seed=seed)
+    observations = builder.array("observations", steps * _TRACKS)
+    history = builder.array("history", steps * _TRACKS)
+    state_out = builder.array("state", steps * _TRACKS)
+    builder.set_meta(tracks=_TRACKS, steps=steps,
+                     model="predict/match/update tracking filter")
+
+    # Per-track filter state carried across steps (the recurrence).
+    states: list[Value | None] = [None] * _TRACKS
+    iv = None
+    for step in range(steps):
+        for track in range(_TRACKS):
+            iv = builder.induction(iv, tag="step")
+            previous = states[track]
+            slot = step * _TRACKS + track
+            if previous is None:
+                observation = builder.load(observations, slot, iv, tag="obs")
+                neighbour = builder.load(
+                    observations, (slot + 1) % observations.length, iv,
+                    tag="obs",
+                )
+            else:
+                # Predicted position -> integer index -> observation
+                # address: the loss-of-decoupling event. The matcher
+                # examines a two-wide observation window.
+                predicted = builder.cvt_f2i(previous, tag="predict")
+                observation = builder.load(
+                    observations, slot, iv, predicted, tag="obs"
+                )
+                neighbour = builder.load(
+                    observations, (slot + 1) % observations.length, iv,
+                    predicted, tag="obs",
+                )
+            # Filter update: serial 8-deep FP chain through the state.
+            innovation = (
+                observation if previous is None
+                else builder.fsub(observation, previous, tag="filter")
+            )
+            g1 = builder.fmul(innovation, innovation, tag="filter")
+            g2 = builder.fadd(g1, observation, tag="filter")
+            g3 = builder.fmul(g2, innovation, tag="filter")
+            g4 = builder.fadd(g3, g1, tag="filter")
+            g5 = builder.fmul(g4, g2, tag="filter")
+            g6 = builder.fadd(g5, g3, tag="filter")
+            new_state = builder.fadd(
+                g6, previous if previous is not None else observation,
+                tag="filter",
+            )
+            states[track] = new_state
+            # Independent smoothing work: overlappable history loads
+            # over a six-deep track-history window.
+            history_values = [
+                builder.load(
+                    history, (slot + k * _TRACKS) % history.length, iv,
+                    tag="hist",
+                )
+                for k in range(6)
+            ]
+            s1 = builder.fadd(history_values[0], history_values[1],
+                              tag="smooth")
+            s2 = builder.fadd(history_values[2], history_values[3],
+                              tag="smooth")
+            s3 = builder.fadd(history_values[4], history_values[5],
+                              tag="smooth")
+            s4 = builder.fmul(s1, s2, tag="smooth")
+            s5 = builder.fadd(s4, s3, tag="smooth")
+            s6 = builder.fmul(s5, s1, tag="smooth")
+            s7 = builder.fadd(s6, neighbour, tag="smooth")
+            builder.fmul(s7, s4, tag="smooth")
+            builder.store(state_out, slot, new_state, iv, tag="out")
+    return builder.build()
+
+
+TRACK = register(
+    KernelSpec(
+        name="track",
+        title="TRACK (missile tracking, PERFECT Club)",
+        description="predict/match/update filters with per-step "
+        "data-dependent observation addressing and per-track recurrences",
+        band=POOR,
+        build=build_track,
+    )
+)

@@ -1,0 +1,18 @@
+"""Machine models: the DM, the SWSM, the serial reference, and the engine."""
+
+from .dm import DecoupledMachine
+from .engine import SimulationResult, UnitStats, simulate
+from .reference import simulate_naive
+from .serial import SerialMachine, SerialResult
+from .swsm import SuperscalarMachine
+
+__all__ = [
+    "DecoupledMachine",
+    "SuperscalarMachine",
+    "SerialMachine",
+    "SerialResult",
+    "SimulationResult",
+    "UnitStats",
+    "simulate",
+    "simulate_naive",
+]

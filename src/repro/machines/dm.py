@@ -1,0 +1,83 @@
+"""The access decoupled machine (DM).
+
+Two loosely-coupled out-of-order units — the address unit (AU) and the
+data unit (DU) — joined by the decoupled memory. The AU executes the
+access stream (address arithmetic, load issues, store addresses) and
+slips dynamically ahead of the DU, which is what makes the DM an
+aggressive data prefetcher.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_LATENCIES, DMConfig, LatencyModel
+from ..ir import Program
+from ..memory import FixedLatencyMemory, MemorySystem
+from ..partition import MachineProgram, Unit, partition_dm
+from .engine import SimulationResult, simulate
+
+__all__ = ["DecoupledMachine"]
+
+
+class DecoupledMachine:
+    """Simulates DM executions of compiled (partitioned) programs."""
+
+    def __init__(self, config: DMConfig) -> None:
+        self.config = config
+
+    @staticmethod
+    def compile(
+        program: Program, latencies: LatencyModel = DEFAULT_LATENCIES
+    ) -> MachineProgram:
+        """Partition an architectural program into AU/DU streams.
+
+        Compilation is window-independent: compile once, then simulate
+        across window sizes and memory differentials.
+        """
+        return partition_dm(program, latencies)
+
+    def run(
+        self,
+        machine_program: MachineProgram,
+        memory: MemorySystem | None = None,
+        memory_differential: int | None = None,
+        probe_buffers: bool = False,
+        probe_esw: bool = False,
+        collect_issue_times: bool = False,
+    ) -> SimulationResult:
+        """Simulate a compiled program on this DM configuration.
+
+        Exactly one of ``memory`` (a full memory model) or
+        ``memory_differential`` (the paper's fixed-cost model) may be
+        given; with neither, the differential defaults to zero.
+        """
+        if memory is not None and memory_differential is not None:
+            raise ValueError(
+                "pass either a memory model or a memory differential, not both"
+            )
+        if memory is None:
+            memory = FixedLatencyMemory(memory_differential or 0)
+        return simulate(
+            machine_program,
+            unit_configs={Unit.AU: self.config.au, Unit.DU: self.config.du},
+            memory=memory,
+            latencies=self.config.latencies,
+            probe_buffers=probe_buffers,
+            probe_esw=probe_esw,
+            collect_issue_times=collect_issue_times,
+        )
+
+    def run_program(
+        self,
+        program: Program,
+        memory: MemorySystem | None = None,
+        memory_differential: int | None = None,
+        **probe_kwargs: bool,
+    ) -> SimulationResult:
+        """Compile and run an architectural program in one step."""
+        compiled = self.compile(program, self.config.latencies)
+        return self.run(
+            compiled,
+            memory=memory,
+            memory_differential=memory_differential,
+            **probe_kwargs,
+        )

@@ -1,0 +1,100 @@
+"""A deliberately naive cycle-by-cycle simulator for differential testing.
+
+This implements the timing semantics of DESIGN.md §5 as directly as
+possible — scanning every window every cycle, no heaps, no event
+skipping — so the test-suite can check that the optimised event-driven
+engine produces the *identical* schedule. It is orders of magnitude
+slower and must only be used on small programs.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
+from ..errors import SimulationError
+from ..memory import FixedLatencyMemory, MemorySystem
+from ..partition.machine_program import MachineProgram, MemKind, Unit
+
+__all__ = ["simulate_naive"]
+
+_DEFAULT_CYCLE_BOUND = 2_000_000
+
+
+def simulate_naive(
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem | None = None,
+    latencies: LatencyModel = DEFAULT_LATENCIES,
+    cycle_bound: int = _DEFAULT_CYCLE_BOUND,
+) -> tuple[int, dict[int, int]]:
+    """Run cycle by cycle; returns (total cycles, issue time per gid)."""
+    if memory is None:
+        memory = FixedLatencyMemory(0)
+    memory.reset()
+
+    instructions = program.by_gid
+    avail: dict[int, int] = {}
+    issue_at: dict[int, int] = {}
+    dispatch_at: dict[int, int] = {}
+    windows: dict[Unit, list[int]] = {unit: [] for unit in program.units}
+    pointers: dict[Unit, int] = {unit: 0 for unit in program.units}
+
+    def finished() -> bool:
+        return all(
+            not windows[unit] and pointers[unit] >= len(program.stream(unit))
+            for unit in program.units
+        )
+
+    time = 0
+    while not finished():
+        if time > cycle_bound:
+            raise SimulationError(
+                f"naive simulation exceeded {cycle_bound} cycles"
+            )
+        for unit in program.units:
+            config = unit_configs[unit]
+            window = windows[unit]
+            # Issue phase: oldest-first among ready instructions that
+            # were dispatched in an *earlier* cycle with all operands
+            # available by now.
+            ready = [
+                gid
+                for gid in window
+                if dispatch_at[gid] < time
+                and all(avail.get(dep, None) is not None and avail[dep] <= time
+                        for dep in instructions[gid].srcs)
+            ]
+            ready.sort()
+            for gid in ready[: config.width]:
+                inst = instructions[gid]
+                issue_at[gid] = time
+                if inst.mem_kind in (
+                    MemKind.LOAD_ISSUE,
+                    MemKind.SELF_LOAD,
+                    MemKind.PREFETCH_LOAD,
+                ):
+                    addr = inst.addr if inst.addr is not None else 0
+                    avail[gid] = (
+                        time + latencies.mem_base + memory.extra_latency(addr, time)
+                    )
+                elif inst.mem_kind is MemKind.PREFETCH_STORE:
+                    avail[gid] = time + 1
+                else:
+                    avail[gid] = time + inst.latency
+                window.remove(gid)
+            # Dispatch phase: in order, up to width, into free slots.
+            stream = program.stream(unit)
+            dispatched = 0
+            while (
+                dispatched < config.width
+                and len(window) < config.window
+                and pointers[unit] < len(stream)
+            ):
+                inst = stream[pointers[unit]]
+                window.append(inst.gid)
+                dispatch_at[inst.gid] = time
+                pointers[unit] += 1
+                dispatched += 1
+        time += 1
+
+    total = max(avail.values()) if avail else 0
+    return total, issue_at

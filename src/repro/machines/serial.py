@@ -1,0 +1,48 @@
+"""The serial reference machine: the speedup denominator.
+
+An in-order, single-issue, non-overlapped machine: each instruction
+costs its full latency (loads pay the whole memory differential) and
+the next instruction begins only when it completes. Both the DM and
+the SWSM are reported as speedups over this machine *at the same
+memory differential*, which is why large differentials produce large
+speedups — the reference suffers the full latency on every access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_LATENCIES, LatencyModel
+from ..ir import Program
+
+__all__ = ["SerialResult", "SerialMachine"]
+
+
+@dataclass(frozen=True)
+class SerialResult:
+    """Outcome of the (analytically computed) serial execution."""
+
+    name: str
+    cycles: int
+    instructions: int
+    memory_differential: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class SerialMachine:
+    """Evaluates the non-overlapped serial execution time of a trace."""
+
+    def __init__(self, latencies: LatencyModel = DEFAULT_LATENCIES) -> None:
+        self.latencies = latencies
+
+    def run(self, program: Program, memory_differential: int) -> SerialResult:
+        cycles = program.serial_time(memory_differential, self.latencies)
+        return SerialResult(
+            name=program.name,
+            cycles=cycles,
+            instructions=len(program),
+            memory_differential=memory_differential,
+        )

@@ -1,0 +1,75 @@
+"""The single-window superscalar machine (SWSM).
+
+One out-of-order unit whose issue width equals the DM's combined issue
+width, using hybrid prefetching: each memory operation is a prefetch
+instruction plus an access instruction sharing the single window —
+so when accesses stall on a large memory differential they occupy
+window slots and throttle the dispatch of later prefetches.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_LATENCIES, LatencyModel, SWSMConfig, UnitConfig
+from ..ir import Program
+from ..memory import FixedLatencyMemory, MemorySystem
+from ..partition import MachineProgram, Unit, lower_swsm
+from .engine import SimulationResult, simulate
+
+__all__ = ["SuperscalarMachine"]
+
+
+class SuperscalarMachine:
+    """Simulates SWSM executions of lowered programs."""
+
+    def __init__(self, config: SWSMConfig) -> None:
+        self.config = config
+
+    @staticmethod
+    def compile(
+        program: Program, latencies: LatencyModel = DEFAULT_LATENCIES
+    ) -> MachineProgram:
+        """Lower an architectural program to prefetch/access form."""
+        return lower_swsm(program, latencies)
+
+    def run(
+        self,
+        machine_program: MachineProgram,
+        memory: MemorySystem | None = None,
+        memory_differential: int | None = None,
+        probe_buffers: bool = False,
+        collect_issue_times: bool = False,
+    ) -> SimulationResult:
+        """Simulate a lowered program on this SWSM configuration."""
+        if memory is not None and memory_differential is not None:
+            raise ValueError(
+                "pass either a memory model or a memory differential, not both"
+            )
+        if memory is None:
+            memory = FixedLatencyMemory(memory_differential or 0)
+        unit = UnitConfig(
+            window=self.config.window, width=self.config.width, name="SWSM"
+        )
+        return simulate(
+            machine_program,
+            unit_configs={Unit.SINGLE: unit},
+            memory=memory,
+            latencies=self.config.latencies,
+            probe_buffers=probe_buffers,
+            collect_issue_times=collect_issue_times,
+        )
+
+    def run_program(
+        self,
+        program: Program,
+        memory: MemorySystem | None = None,
+        memory_differential: int | None = None,
+        **probe_kwargs: bool,
+    ) -> SimulationResult:
+        """Compile and run an architectural program in one step."""
+        compiled = self.compile(program, self.config.latencies)
+        return self.run(
+            compiled,
+            memory=memory,
+            memory_differential=memory_differential,
+            **probe_kwargs,
+        )

@@ -1,0 +1,19 @@
+"""Memory-system models: fixed differential, caches, bypass, buffers."""
+
+from .base import MemorySystem
+from .buffers import OccupancyStats, occupancy_from_intervals
+from .bypass import BypassBuffer
+from .cache import DEFAULT_HIERARCHY, CacheLevel, CacheLevelConfig, CacheMemory
+from .fixed import FixedLatencyMemory
+
+__all__ = [
+    "MemorySystem",
+    "FixedLatencyMemory",
+    "CacheMemory",
+    "CacheLevel",
+    "CacheLevelConfig",
+    "DEFAULT_HIERARCHY",
+    "BypassBuffer",
+    "OccupancyStats",
+    "occupancy_from_intervals",
+]

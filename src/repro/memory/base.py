@@ -1,0 +1,38 @@
+"""Memory-system interface used by the machine models.
+
+The paper abstracts the memory system to a fixed per-access cost: the
+*memory differential* (MD), the difference between a register access
+and a memory-system access. The machine models only ask one question —
+"how many extra cycles beyond the one-cycle base does this access
+take?" — so the interface is a single method. Stateful models (caches,
+bypass buffers) update themselves inside that call; the simulator
+guarantees calls happen in issue order, which is deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem(abc.ABC):
+    """Answers access-latency queries in issue order."""
+
+    @abc.abstractmethod
+    def extra_latency(self, addr: int, now: int) -> int:
+        """Extra cycles (beyond the base cost) for a read of ``addr``.
+
+        Args:
+            addr: effective address of the access.
+            now: current cycle (lets models reason about timing, e.g.
+                an in-flight line that will arrive before it is needed).
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state so the model can be reused across runs."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for experiment records."""
+        return type(self).__name__

@@ -1,0 +1,75 @@
+"""Occupancy accounting for the decoupled memory and prefetch buffer.
+
+Both machines buffer in-flight data: the DM's decoupled memory holds
+values from arrival until the DU's receive consumes them, and the
+SWSM's prefetch buffer holds lines from arrival until the access
+instruction reads them. The simulators are timing-based and treat the
+buffers as unbounded (the paper's idealisation), so the interesting
+question is *how big the buffers would have had to be* — answered
+post-hoc from the (arrival, consume) interval of every in-flight datum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MetricError
+
+__all__ = ["OccupancyStats", "occupancy_from_intervals"]
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Peak and time-weighted mean number of simultaneously buffered items."""
+
+    peak: int
+    mean: float
+    items: int
+    span: int  # cycles between first arrival and last consumption
+
+    @classmethod
+    def empty(cls) -> "OccupancyStats":
+        return cls(peak=0, mean=0.0, items=0, span=0)
+
+
+def occupancy_from_intervals(
+    intervals: list[tuple[int, int]],
+) -> OccupancyStats:
+    """Sweep-line occupancy of half-open residency intervals.
+
+    Args:
+        intervals: ``(arrival, consume)`` cycle pairs, ``consume`` may
+            equal ``arrival`` (the datum was needed the moment it
+            arrived and contributes no occupancy).
+    """
+    if not intervals:
+        return OccupancyStats.empty()
+    events: list[tuple[int, int]] = []
+    for arrival, consume in intervals:
+        if consume < arrival:
+            raise MetricError(
+                f"interval consumes at {consume} before arriving at {arrival}"
+            )
+        if consume > arrival:
+            events.append((arrival, +1))
+            events.append((consume, -1))
+    if not events:
+        first = min(a for a, _ in intervals)
+        last = max(c for _, c in intervals)
+        return OccupancyStats(peak=0, mean=0.0, items=len(intervals),
+                              span=last - first)
+    events.sort()
+    peak = 0
+    current = 0
+    weighted = 0
+    previous_time = events[0][0]
+    start = events[0][0]
+    for time, delta in events:
+        weighted += current * (time - previous_time)
+        previous_time = time
+        current += delta
+        if current > peak:
+            peak = current
+    span = previous_time - start
+    mean = weighted / span if span else 0.0
+    return OccupancyStats(peak=peak, mean=mean, items=len(intervals), span=span)

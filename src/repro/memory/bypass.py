@@ -1,0 +1,69 @@
+"""The bypass buffer sketched in the paper's future work.
+
+The paper's closing discussion proposes "a bypass mechanism which
+captures the temporal locality exposed by decoupling": values recently
+delivered to the decoupled memory can satisfy later accesses to the
+same address without paying the memory differential again. We model it
+as a small fully-associative LRU buffer of recently fetched lines that
+fronts any backing memory model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigError
+from .base import MemorySystem
+
+__all__ = ["BypassBuffer"]
+
+
+class BypassBuffer(MemorySystem):
+    """LRU buffer of recently fetched lines in front of a backing model.
+
+    A hit costs zero extra cycles (the datum is already buffered beside
+    the processor); a miss pays the backing model's cost and allocates.
+    """
+
+    def __init__(
+        self,
+        backing: MemorySystem,
+        entries: int = 64,
+        line_bytes: int = 32,
+    ) -> None:
+        if entries < 1:
+            raise ConfigError(f"bypass buffer needs >= 1 entry, got {entries}")
+        if line_bytes < 1:
+            raise ConfigError(f"line_bytes must be >= 1, got {line_bytes}")
+        self.backing = backing
+        self.entries = entries
+        self.line_bytes = line_bytes
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def extra_latency(self, addr: int, now: int) -> int:
+        line = addr // self.line_bytes
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(self._lines) >= self.entries:
+            self._lines.popitem(last=False)
+        self._lines[line] = None
+        return self.backing.extra_latency(addr, now)
+
+    def reset(self) -> None:
+        self._lines.clear()
+        self.hits = 0
+        self.misses = 0
+        self.backing.reset()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return f"bypass({self.entries}x{self.line_bytes}B -> {self.backing.describe()})"

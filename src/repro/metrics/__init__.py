@@ -1,0 +1,26 @@
+"""Paper metrics: speedup, LHE, equivalent window ratio, ESW."""
+
+from .esw import EswStats, esw_stats
+from .ewr import (
+    DEFAULT_MAX_WINDOW,
+    EwrPoint,
+    equivalent_window_ratio,
+    find_equivalent_window,
+)
+from .lhe import LHE_BANDS, LhePoint, classify_band, lhe
+from .speedup import SpeedupPoint, speedup
+
+__all__ = [
+    "DEFAULT_MAX_WINDOW",
+    "EswStats",
+    "EwrPoint",
+    "LHE_BANDS",
+    "LhePoint",
+    "SpeedupPoint",
+    "classify_band",
+    "equivalent_window_ratio",
+    "esw_stats",
+    "find_equivalent_window",
+    "lhe",
+    "speedup",
+]

@@ -1,0 +1,67 @@
+"""Effective single window (ESW): paper §3.
+
+The DM's dynamic slippage means the span of in-flight work — from the
+oldest not-yet-issued DU instruction to the youngest dispatched AU
+instruction — can exceed the sum of the two physical windows. The ESW
+is that span measured in architectural instructions: the single window
+an equivalent one-window machine would need to buffer the same work.
+The engine samples it every active cycle when ``probe_esw`` is set;
+this module packages the samples into the statistic the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MetricError
+from ..machines.engine import SimulationResult
+
+__all__ = ["EswStats", "esw_stats"]
+
+
+@dataclass(frozen=True)
+class EswStats:
+    """Effective-single-window statistics of one DM run.
+
+    Attributes:
+        peak: largest ESW observed (instructions).
+        mean: time-weighted mean ESW.
+        physical_windows: sum of the AU and DU window sizes.
+    """
+
+    program: str
+    memory_differential: int
+    peak: int
+    mean: float
+    physical_windows: int
+
+    @property
+    def amplification(self) -> float:
+        """How much larger the mean ESW is than the physical windows.
+
+        Values above 1.0 are the paper's point: slippage lets two small
+        windows behave like one much larger window.
+        """
+        if self.physical_windows <= 0:
+            raise MetricError("physical window sum must be positive")
+        return self.mean / self.physical_windows
+
+
+def esw_stats(
+    result: SimulationResult,
+    memory_differential: int,
+    physical_windows: int,
+) -> EswStats:
+    """Package a probed simulation result into ESW statistics."""
+    if result.esw_peak == 0 and result.esw_mean == 0.0:
+        raise MetricError(
+            "simulation was not run with probe_esw=True (no ESW samples)"
+        )
+    return EswStats(
+        program=result.name,
+        memory_differential=memory_differential,
+        peak=result.esw_peak,
+        mean=result.esw_mean,
+        physical_windows=physical_windows,
+    )

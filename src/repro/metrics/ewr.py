@@ -1,0 +1,119 @@
+"""Equivalent window ratio (EWR): figures 7-9 of the paper.
+
+For a DM running with window size ``W``, the equivalent window ratio
+is ``W' / W`` where ``W'`` is the SWSM window size that yields the same
+execution time. The paper derives it by projecting from the DM curve
+onto the SWSM curve; we compute it by searching the SWSM's
+window-time function directly (exponential bracketing plus bisection,
+with a final linear interpolation between the bracketing integer
+windows so the ratio varies smoothly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import ProjectionError
+
+__all__ = ["EwrPoint", "find_equivalent_window", "equivalent_window_ratio"]
+
+#: Give up if the SWSM still has not matched the DM at this window size.
+DEFAULT_MAX_WINDOW = 1 << 15
+
+
+@dataclass(frozen=True)
+class EwrPoint:
+    """One point of an equivalent-window-ratio curve."""
+
+    program: str
+    dm_window: int
+    memory_differential: int
+    dm_cycles: int
+    equivalent_swsm_window: float
+
+    @property
+    def ratio(self) -> float:
+        return self.equivalent_swsm_window / self.dm_window
+
+
+def find_equivalent_window(
+    evaluate: Callable[[int], int],
+    target_cycles: int,
+    start: int = 4,
+    max_window: int = DEFAULT_MAX_WINDOW,
+) -> float:
+    """Smallest (interpolated) window whose time is <= ``target_cycles``.
+
+    Args:
+        evaluate: maps an SWSM window size to its execution time in
+            cycles. Expected to be non-increasing; small local
+            non-monotonicities only shift the crossing by a window or
+            two. Cache inside ``evaluate`` if calls are expensive.
+        target_cycles: the DM execution time to match.
+        start: initial probe window.
+        max_window: raise :class:`ProjectionError` if even this window
+            cannot match the target.
+    """
+    if target_cycles <= 0:
+        raise ProjectionError(f"non-positive target time {target_cycles}")
+    if start < 1:
+        raise ProjectionError(f"start window must be >= 1, got {start}")
+
+    # Bracket: grow until the target is met, shrink while it is met.
+    high = start
+    time_high = evaluate(high)
+    while time_high > target_cycles:
+        if high >= max_window:
+            raise ProjectionError(
+                f"SWSM cannot match {target_cycles} cycles even with a "
+                f"window of {high}"
+            )
+        high = min(high * 2, max_window)
+        time_high = evaluate(high)
+    low = high
+    time_low = time_high
+    while low > 1:
+        candidate = low // 2
+        time_candidate = evaluate(candidate)
+        if time_candidate <= target_cycles:
+            low, time_low = candidate, time_candidate
+        else:
+            break
+    if low == 1 and time_low <= target_cycles:
+        return 1.0
+
+    # Invariant: evaluate(low..?) — low currently meets the target and
+    # low//2 (if any) does not. Bisect the integer crossing between
+    # the last failing window and ``low``.
+    fail = low // 2
+    time_fail = evaluate(fail)
+    success, time_success = low, time_low
+    while success - fail > 1:
+        middle = (success + fail) // 2
+        time_middle = evaluate(middle)
+        if time_middle <= target_cycles:
+            success, time_success = middle, time_middle
+        else:
+            fail, time_fail = middle, time_middle
+
+    if time_fail == time_success:
+        return float(success)
+    fraction = (time_fail - target_cycles) / (time_fail - time_success)
+    fraction = min(max(fraction, 0.0), 1.0)
+    return fail + fraction * (success - fail)
+
+
+def equivalent_window_ratio(
+    evaluate: Callable[[int], int],
+    dm_window: int,
+    dm_cycles: int,
+    max_window: int = DEFAULT_MAX_WINDOW,
+) -> float:
+    """The paper's EWR for one DM operating point."""
+    if dm_window < 1:
+        raise ProjectionError(f"DM window must be >= 1, got {dm_window}")
+    equivalent = find_equivalent_window(
+        evaluate, dm_cycles, start=max(4, dm_window), max_window=max_window
+    )
+    return equivalent / dm_window

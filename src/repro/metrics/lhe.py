@@ -1,0 +1,71 @@
+"""Latency-hiding effectiveness (LHE).
+
+``LHE = T_perfect / T_actual``, where ``T_actual`` is the machine's
+execution time at the memory differential under study and
+``T_perfect`` is the execution time of the same machine with perfect
+latency hiding — every memory access perceiving a single-cycle
+latency, i.e. the machine re-run with a zero differential. An LHE of
+1.0 means the differential is completely hidden.
+
+The paper's Table 1 groups the seven programs into *highly* (roughly
+0.85 and above), *moderately* (0.45-0.85) and *poorly* (below 0.45)
+effective bands at an unlimited window; the precise thresholds are not
+legible in the source text, so the boundaries here are the documented
+reproduction convention (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MetricError
+
+__all__ = ["LHE_BANDS", "LhePoint", "lhe", "classify_band"]
+
+#: (lower-inclusive bound, band name), highest first.
+LHE_BANDS = ((0.85, "high"), (0.45, "moderate"), (0.0, "poor"))
+
+
+@dataclass(frozen=True)
+class LhePoint:
+    """One latency-hiding-effectiveness measurement."""
+
+    program: str
+    machine: str
+    window: int | None  # None means unlimited
+    memory_differential: int
+    perfect_cycles: int
+    actual_cycles: int
+
+    @property
+    def lhe(self) -> float:
+        return lhe(self.perfect_cycles, self.actual_cycles)
+
+    @property
+    def band(self) -> str:
+        return classify_band(self.lhe)
+
+
+def lhe(perfect_cycles: int, actual_cycles: int) -> float:
+    """Latency-hiding effectiveness ratio."""
+    if perfect_cycles <= 0:
+        raise MetricError(f"non-positive perfect time {perfect_cycles}")
+    if actual_cycles <= 0:
+        raise MetricError(f"non-positive actual time {actual_cycles}")
+    if actual_cycles < perfect_cycles:
+        # Perfect hiding is a lower bound; tiny violations would mean a
+        # simulator bug, so fail loudly rather than report LHE > 1.
+        raise MetricError(
+            f"actual time {actual_cycles} beats perfect time {perfect_cycles}"
+        )
+    return perfect_cycles / actual_cycles
+
+
+def classify_band(value: float) -> str:
+    """Map an LHE value to the paper's effectiveness band."""
+    if not 0.0 <= value <= 1.0:
+        raise MetricError(f"LHE must be in [0, 1], got {value}")
+    for threshold, band in LHE_BANDS:
+        if value >= threshold:
+            return band
+    raise AssertionError("unreachable: bands cover [0, 1]")

@@ -1,0 +1,45 @@
+"""Speedup: execution time of the serial reference over the machine.
+
+The paper's figures 4-6 plot speedup against window size for both
+machines at memory differentials of 0 and 60 cycles. The reference is
+the non-overlapped serial machine *at the same memory differential*,
+so large differentials produce large speedups (the reference pays the
+full latency on every access while the machines hide it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MetricError
+
+__all__ = ["SpeedupPoint", "speedup"]
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of a speedup-versus-window curve."""
+
+    program: str
+    machine: str
+    window: int
+    memory_differential: int
+    machine_cycles: int
+    serial_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        if self.machine_cycles <= 0:
+            raise MetricError(
+                f"non-positive machine time {self.machine_cycles}"
+            )
+        return self.serial_cycles / self.machine_cycles
+
+
+def speedup(serial_cycles: int, machine_cycles: int) -> float:
+    """Plain ratio helper with input validation."""
+    if serial_cycles <= 0:
+        raise MetricError(f"non-positive serial time {serial_cycles}")
+    if machine_cycles <= 0:
+        raise MetricError(f"non-positive machine time {machine_cycles}")
+    return serial_cycles / machine_cycles

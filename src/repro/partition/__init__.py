@@ -1,0 +1,19 @@
+"""Access/execute partitioning and machine-program lowering."""
+
+from .analysis import DecouplingReport, analyze_decoupling
+from .machine_program import MachineInstruction, MachineProgram, MemKind, Unit
+from .static_partition import AddressSlice, compute_address_slice, partition_dm
+from .swsm_lowering import lower_swsm
+
+__all__ = [
+    "AddressSlice",
+    "DecouplingReport",
+    "MachineInstruction",
+    "MachineProgram",
+    "MemKind",
+    "Unit",
+    "analyze_decoupling",
+    "compute_address_slice",
+    "lower_swsm",
+    "partition_dm",
+]

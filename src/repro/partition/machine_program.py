@@ -1,0 +1,180 @@
+"""Machine-level programs: unit-tagged instruction streams.
+
+The architectural IR is lowered into a :class:`MachineProgram` before
+simulation. The decoupled machine (DM) gets two streams (AU and DU);
+the single-window superscalar machine (SWSM) gets one. Machine
+instructions reference each other by *global id* (gid), which is
+assigned in program order across all streams so that it doubles as an
+age for oldest-first issue and for effective-single-window analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..errors import PartitionError
+
+__all__ = ["Unit", "MemKind", "MachineInstruction", "MachineProgram"]
+
+
+class Unit(enum.Enum):
+    """The execution unit a machine instruction is assigned to."""
+
+    AU = "AU"
+    DU = "DU"
+    SINGLE = "SINGLE"
+
+
+class MemKind(enum.Enum):
+    """Machine-level memory/transfer semantics of an instruction.
+
+    The simulator keys its timing rules on this field:
+
+    * ``NONE`` — plain arithmetic; result available ``latency`` cycles
+      after issue.
+    * ``COPY`` — inter-register-file move on the producing unit.
+    * ``LOAD_ISSUE`` — AU sends an address; the datum reaches the
+      decoupled memory ``mem_base + md`` cycles after issue, where it
+      waits for the paired ``RECEIVE``.
+    * ``SELF_LOAD`` — an AU load whose value the AU itself consumes;
+      same memory timing, no receive instruction.
+    * ``RECEIVE`` — DU consumes a buffered datum (one-cycle request).
+    * ``STORE_ADDR`` / ``STORE_DATA`` — the two halves of a DM store.
+    * ``PREFETCH_LOAD`` — SWSM prefetch; fills the prefetch buffer
+      ``mem_base + md`` cycles after issue.
+    * ``PREFETCH_STORE`` — SWSM store prefetch; establishes the entry in
+      one cycle (stores complete into an idealised write buffer and do
+      not wait on the memory differential — see DESIGN.md §5).
+    * ``ACCESS_LOAD`` — SWSM access; ready once the paired prefetch's
+      datum arrived, takes one cycle.
+    * ``ACCESS_STORE`` — SWSM store access; one cycle.
+    """
+
+    NONE = "none"
+    COPY = "copy"
+    LOAD_ISSUE = "load_issue"
+    SELF_LOAD = "self_load"
+    RECEIVE = "receive"
+    STORE_ADDR = "store_addr"
+    STORE_DATA = "store_data"
+    PREFETCH_LOAD = "prefetch_load"
+    PREFETCH_STORE = "prefetch_store"
+    ACCESS_LOAD = "access_load"
+    ACCESS_STORE = "access_store"
+
+
+#: Kinds whose result-availability depends on the memory differential.
+MEMORY_KINDS = frozenset(
+    {MemKind.LOAD_ISSUE, MemKind.SELF_LOAD, MemKind.PREFETCH_LOAD}
+)
+
+
+@dataclass(frozen=True)
+class MachineInstruction:
+    """One instruction in a unit's stream.
+
+    Attributes:
+        gid: global id; unique and monotone in (interleaved) program
+            order across all streams of the machine program.
+        unit: the unit whose window/issue slots this instruction uses.
+        mem_kind: timing semantics (see :class:`MemKind`).
+        latency: execution latency in cycles for the non-memory part of
+            the timing rules (ignored for kinds whose availability is
+            computed from the memory differential).
+        srcs: gids this instruction must wait for before issuing.
+        addr: concrete effective address for memory operations.
+        orig_index: index of the architectural instruction this was
+            lowered from (used for effective-single-window analysis).
+        tag: annotation carried over from the architectural trace.
+    """
+
+    gid: int
+    unit: Unit
+    mem_kind: MemKind
+    latency: int
+    srcs: tuple[int, ...] = ()
+    addr: int | None = None
+    orig_index: int = -1
+    tag: str = ""
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.mem_kind in MEMORY_KINDS
+
+
+class MachineProgram:
+    """Unit-tagged instruction streams plus cross-stream dependencies."""
+
+    def __init__(
+        self,
+        name: str,
+        streams: dict[Unit, list[MachineInstruction]],
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.streams = streams
+        self.meta: dict[str, object] = dict(meta or {})
+        self.num_instructions = sum(len(s) for s in streams.values())
+
+    @property
+    def units(self) -> tuple[Unit, ...]:
+        return tuple(self.streams)
+
+    def stream(self, unit: Unit) -> list[MachineInstruction]:
+        return self.streams[unit]
+
+    @cached_property
+    def by_gid(self) -> dict[int, MachineInstruction]:
+        table: dict[int, MachineInstruction] = {}
+        for stream in self.streams.values():
+            for inst in stream:
+                if inst.gid in table:
+                    raise PartitionError(f"duplicate gid {inst.gid}")
+                table[inst.gid] = inst
+        return table
+
+    @cached_property
+    def consumers(self) -> dict[int, list[int]]:
+        """gid -> gids of instructions that depend on it."""
+        out: dict[int, list[int]] = {gid: [] for gid in self.by_gid}
+        for inst in self.by_gid.values():
+            for dep in inst.srcs:
+                out[dep].append(inst.gid)
+        return out
+
+    def validate(self) -> None:
+        """Check stream ordering and dependence sanity.
+
+        Within a stream, gids must be strictly increasing (dispatch
+        order is program order). Dependencies must reference existing,
+        older instructions.
+        """
+        table = self.by_gid
+        for unit, stream in self.streams.items():
+            previous = -1
+            for inst in stream:
+                if inst.unit is not unit:
+                    raise PartitionError(
+                        f"instruction gid={inst.gid} tagged {inst.unit} found "
+                        f"in {unit} stream"
+                    )
+                if inst.gid <= previous:
+                    raise PartitionError(
+                        f"stream {unit} is not in increasing gid order at "
+                        f"gid={inst.gid}"
+                    )
+                previous = inst.gid
+                for dep in inst.srcs:
+                    if dep not in table:
+                        raise PartitionError(
+                            f"gid={inst.gid} depends on unknown gid={dep}"
+                        )
+                    if dep >= inst.gid:
+                        raise PartitionError(
+                            f"gid={inst.gid} depends on younger gid={dep}"
+                        )
+
+    def unit_counts(self) -> dict[Unit, int]:
+        return {unit: len(stream) for unit, stream in self.streams.items()}

@@ -1,0 +1,295 @@
+"""Static access/execute partitioning for the decoupled machine.
+
+The partitioner assigns every architectural instruction to the address
+unit (AU) or the data unit (DU):
+
+* all memory operations run on the AU (the AU sends addresses to the
+  decoupled memory; stores also have a data half);
+* every integer instruction whose value flows — through integer
+  instructions only — into an effective-address computation belongs to
+  the AU (the *address slice*);
+* everything else (floating point and data-side integer work) belongs
+  to the DU.
+
+Values crossing between the units become explicit one-cycle ``COPY``
+instructions on the producing unit. A load whose value re-enters
+address computation becomes an AU *self-load*; a floating-point value
+that feeds an address (via a float-to-int conversion) forces a DU→AU
+copy — a *loss-of-decoupling* event, because the AU must wait for the
+DU to catch up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_LATENCIES, LatencyModel
+from ..errors import PartitionError
+from ..ir import OpClass, Program, opcode_latency
+from .machine_program import MachineInstruction, MachineProgram, MemKind, Unit
+
+__all__ = ["AddressSlice", "compute_address_slice", "partition_dm"]
+
+
+@dataclass(frozen=True)
+class AddressSlice:
+    """The AU-resident part of a program.
+
+    Attributes:
+        au_int: indices of integer instructions in the address slice.
+        self_loads: indices of loads whose values feed address
+            computation (executed as AU self-loads).
+    """
+
+    au_int: frozenset[int]
+    self_loads: frozenset[int]
+
+    def owns(self, index: int) -> bool:
+        return index in self.au_int or index in self.self_loads
+
+
+def compute_address_slice(program: Program) -> AddressSlice:
+    """Backward slice from every effective-address operand.
+
+    The walk recurses through integer instructions only: a
+    floating-point producer terminates the slice (its value will be
+    copied from the DU), and a load producer becomes a self-load (its
+    own address slice is walked independently, because every memory
+    operation's address operand is a root).
+    """
+    au_int: set[int] = set()
+    self_loads: set[int] = set()
+    worklist = [
+        inst.addr_src
+        for inst in program
+        if inst.is_memory and inst.addr_src is not None
+    ]
+    while worklist:
+        index = worklist.pop()
+        producer = program[index]
+        if producer.op_class is OpClass.INT:
+            if index not in au_int:
+                au_int.add(index)
+                worklist.extend(producer.srcs)
+        elif producer.op_class is OpClass.LOAD:
+            self_loads.add(index)
+        # FP producers terminate the walk: the value crosses DU -> AU.
+    return AddressSlice(au_int=frozenset(au_int), self_loads=frozenset(self_loads))
+
+
+def _producer_unit(program: Program, index: int, address_slice: AddressSlice) -> Unit:
+    """Home unit of the value produced by architectural instruction ``index``."""
+    op_class = program[index].op_class
+    if op_class is OpClass.INT:
+        return Unit.AU if index in address_slice.au_int else Unit.DU
+    if op_class is OpClass.FP:
+        return Unit.DU
+    if op_class is OpClass.LOAD:
+        return Unit.AU if index in address_slice.self_loads else Unit.DU
+    raise PartitionError(f"instruction {index} (a store) produces no value")
+
+
+def _consumption_units(
+    program: Program, address_slice: AddressSlice
+) -> dict[int, set[Unit]]:
+    """For each value, the set of units that will read it."""
+    needs: dict[int, set[Unit]] = {}
+
+    def need(value: int, unit: Unit) -> None:
+        needs.setdefault(value, set()).add(unit)
+
+    for inst in program:
+        if inst.op_class in (OpClass.INT, OpClass.FP):
+            unit = _producer_unit(program, inst.index, address_slice)
+            for src in inst.srcs:
+                need(src, unit)
+        elif inst.op_class is OpClass.LOAD:
+            if inst.addr_src is not None:
+                need(inst.addr_src, Unit.AU)
+        else:  # STORE
+            if inst.addr_src is not None:
+                need(inst.addr_src, Unit.AU)
+            # The data half of a store executes on the data value's home
+            # unit, so storing never forces a cross-unit copy.
+            for src in inst.srcs:
+                need(src, _producer_unit(program, src, address_slice))
+    return needs
+
+
+def partition_dm(
+    program: Program,
+    latencies: LatencyModel = DEFAULT_LATENCIES,
+    address_slice: AddressSlice | None = None,
+) -> MachineProgram:
+    """Lower an architectural program to a two-stream DM machine program.
+
+    Args:
+        program: the architectural trace.
+        latencies: operation latency model.
+        address_slice: a pre-computed (possibly adjusted) address slice;
+            by default :func:`compute_address_slice` is used. The
+            dynamic partitioner passes a rebalanced slice here.
+    """
+    if address_slice is None:
+        address_slice = compute_address_slice(program)
+    needs = _consumption_units(program, address_slice)
+
+    streams: dict[Unit, list[MachineInstruction]] = {Unit.AU: [], Unit.DU: []}
+    # (arch value index, unit) -> gid of the machine instruction whose
+    # result carries that value on that unit.
+    val_at: dict[tuple[int, Unit], int] = {}
+    # arch store index -> gids a dependent load must wait for.
+    store_gids: dict[int, tuple[int, ...]] = {}
+    counters = {"copies_au_to_du": 0, "copies_du_to_au": 0, "self_loads": 0}
+    gid = 0
+
+    def emit(
+        unit: Unit,
+        mem_kind: MemKind,
+        latency: int,
+        srcs: tuple[int, ...],
+        addr: int | None,
+        orig_index: int,
+        tag: str,
+    ) -> int:
+        nonlocal gid
+        inst = MachineInstruction(
+            gid=gid,
+            unit=unit,
+            mem_kind=mem_kind,
+            latency=latency,
+            srcs=srcs,
+            addr=addr,
+            orig_index=orig_index,
+            tag=tag,
+        )
+        streams[unit].append(inst)
+        gid += 1
+        return inst.gid
+
+    def value_on(src: int, unit: Unit) -> int:
+        try:
+            return val_at[(src, unit)]
+        except KeyError:
+            raise PartitionError(
+                f"value %{src} is not available on {unit.value}; the "
+                "partitioner failed to insert a copy"
+            ) from None
+
+    def maybe_copy(index: int, unit: Unit, produced_gid: int, tag: str) -> None:
+        """Emit a copy to the other unit if that unit reads this value."""
+        other = Unit.DU if unit is Unit.AU else Unit.AU
+        if other in needs.get(index, ()):
+            copy_gid = emit(
+                unit, MemKind.COPY, latencies.copy, (produced_gid,), None, index, tag
+            )
+            val_at[(index, other)] = copy_gid
+            if unit is Unit.AU:
+                counters["copies_au_to_du"] += 1
+            else:
+                counters["copies_du_to_au"] += 1
+
+    for inst in program:
+        index, tag = inst.index, inst.tag
+        if inst.op_class in (OpClass.INT, OpClass.FP):
+            unit = _producer_unit(program, index, address_slice)
+            srcs = tuple(value_on(s, unit) for s in inst.srcs)
+            produced = emit(
+                unit,
+                MemKind.NONE,
+                opcode_latency(inst.opcode, latencies),
+                srcs,
+                None,
+                index,
+                tag,
+            )
+            val_at[(index, unit)] = produced
+            maybe_copy(index, unit, produced, tag)
+        elif inst.op_class is OpClass.LOAD:
+            srcs: tuple[int, ...] = ()
+            if inst.addr_src is not None:
+                srcs = (value_on(inst.addr_src, Unit.AU),)
+            if inst.mem_dep is not None:
+                srcs = srcs + store_gids[inst.mem_dep]
+            if index in address_slice.self_loads:
+                counters["self_loads"] += 1
+                produced = emit(
+                    Unit.AU,
+                    MemKind.SELF_LOAD,
+                    latencies.mem_base,
+                    srcs,
+                    inst.addr,
+                    index,
+                    tag,
+                )
+                val_at[(index, Unit.AU)] = produced
+                maybe_copy(index, Unit.AU, produced, tag)
+            else:
+                issue = emit(
+                    Unit.AU,
+                    MemKind.LOAD_ISSUE,
+                    latencies.mem_base,
+                    srcs,
+                    inst.addr,
+                    index,
+                    tag,
+                )
+                receive = emit(
+                    Unit.DU,
+                    MemKind.RECEIVE,
+                    latencies.receive,
+                    (issue,),
+                    inst.addr,
+                    index,
+                    tag,
+                )
+                val_at[(index, Unit.DU)] = receive
+                # Custom (non-slice) partitions may consume a received
+                # value on the AU; the default slice never does.
+                maybe_copy(index, Unit.DU, receive, tag)
+        else:  # STORE
+            if len(inst.srcs) > 1:
+                raise PartitionError(
+                    f"store {index} has {len(inst.srcs)} data operands; "
+                    "at most one is supported"
+                )
+            addr_srcs: tuple[int, ...] = ()
+            if inst.addr_src is not None:
+                addr_srcs = (value_on(inst.addr_src, Unit.AU),)
+            addr_gid = emit(
+                Unit.AU,
+                MemKind.STORE_ADDR,
+                latencies.store,
+                addr_srcs,
+                inst.addr,
+                index,
+                tag,
+            )
+            if inst.srcs:
+                data = inst.srcs[0]
+                data_unit = _producer_unit(program, data, address_slice)
+                data_gid = emit(
+                    data_unit,
+                    MemKind.STORE_DATA,
+                    latencies.store,
+                    (value_on(data, data_unit),),
+                    inst.addr,
+                    index,
+                    tag,
+                )
+            else:
+                data_gid = emit(
+                    Unit.DU, MemKind.STORE_DATA, latencies.store, (), inst.addr,
+                    index, tag,
+                )
+            store_gids[index] = (addr_gid, data_gid)
+
+    meta = {
+        "machine": "DM",
+        "source": program.name,
+        "au_int": len(address_slice.au_int),
+        **counters,
+    }
+    machine_program = MachineProgram(program.name, streams, meta=meta)
+    machine_program.validate()
+    return machine_program

@@ -1,0 +1,112 @@
+"""Lowering to the single-window superscalar machine (SWSM).
+
+The SWSM uses the paper's hybrid prefetching scheme: every memory
+operation becomes a *prefetch* instruction (computes the address and
+starts the memory access into the prefetch buffer as soon as run-time
+resources allow) plus an *access* instruction (consumes the buffered
+datum in one cycle). Arithmetic passes through unchanged. Everything
+shares one instruction stream, one window and one issue width — which
+is precisely why stalled data operations can crowd out later address
+computation when the memory differential is large.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_LATENCIES, LatencyModel
+from ..errors import PartitionError
+from ..ir import OpClass, Program, opcode_latency
+from .machine_program import MachineInstruction, MachineProgram, MemKind, Unit
+
+__all__ = ["lower_swsm"]
+
+
+def lower_swsm(
+    program: Program,
+    latencies: LatencyModel = DEFAULT_LATENCIES,
+) -> MachineProgram:
+    """Lower an architectural program to a one-stream SWSM machine program."""
+    stream: list[MachineInstruction] = []
+    val_at: dict[int, int] = {}
+    store_gids: dict[int, tuple[int, ...]] = {}
+    gid = 0
+
+    def emit(
+        mem_kind: MemKind,
+        latency: int,
+        srcs: tuple[int, ...],
+        addr: int | None,
+        orig_index: int,
+        tag: str,
+    ) -> int:
+        nonlocal gid
+        inst = MachineInstruction(
+            gid=gid,
+            unit=Unit.SINGLE,
+            mem_kind=mem_kind,
+            latency=latency,
+            srcs=srcs,
+            addr=addr,
+            orig_index=orig_index,
+            tag=tag,
+        )
+        stream.append(inst)
+        gid += 1
+        return inst.gid
+
+    def value(src: int) -> int:
+        try:
+            return val_at[src]
+        except KeyError:
+            raise PartitionError(f"value %{src} was never produced") from None
+
+    for inst in program:
+        index, tag = inst.index, inst.tag
+        if inst.op_class in (OpClass.INT, OpClass.FP):
+            produced = emit(
+                MemKind.NONE,
+                opcode_latency(inst.opcode, latencies),
+                tuple(value(s) for s in inst.srcs),
+                None,
+                index,
+                tag,
+            )
+            val_at[index] = produced
+        elif inst.op_class is OpClass.LOAD:
+            srcs: tuple[int, ...] = ()
+            if inst.addr_src is not None:
+                srcs = (value(inst.addr_src),)
+            if inst.mem_dep is not None:
+                srcs = srcs + store_gids[inst.mem_dep]
+            prefetch = emit(
+                MemKind.PREFETCH_LOAD, latencies.mem_base, srcs, inst.addr,
+                index, tag,
+            )
+            access = emit(
+                MemKind.ACCESS_LOAD, latencies.access, (prefetch,), inst.addr,
+                index, tag,
+            )
+            val_at[index] = access
+        else:  # STORE
+            if len(inst.srcs) > 1:
+                raise PartitionError(
+                    f"store {index} has {len(inst.srcs)} data operands; "
+                    "at most one is supported"
+                )
+            addr_srcs: tuple[int, ...] = ()
+            if inst.addr_src is not None:
+                addr_srcs = (value(inst.addr_src),)
+            prefetch = emit(
+                MemKind.PREFETCH_STORE, latencies.mem_base, addr_srcs, inst.addr,
+                index, tag,
+            )
+            data_srcs = (prefetch,) + tuple(value(s) for s in inst.srcs)
+            access = emit(
+                MemKind.ACCESS_STORE, latencies.store, data_srcs, inst.addr,
+                index, tag,
+            )
+            store_gids[index] = (access,)
+
+    meta = {"machine": "SWSM", "source": program.name}
+    machine_program = MachineProgram(program.name, {Unit.SINGLE: stream}, meta=meta)
+    machine_program.validate()
+    return machine_program

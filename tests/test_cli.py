@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "trfd" in out and "track" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "flo52q" in out
+        assert "SWSM" in out and "DM" in out
+
+    def test_ewr_custom_program(self, capsys):
+        assert main(["ewr", "--program", "track"]) == 0
+        assert "track" in capsys.readouterr().out
+
+    def test_esw(self, capsys):
+        assert main(["esw"]) == 0
+        assert "Effective single window" in capsys.readouterr().out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("trfd", "adm", "flo52q", "dyfesm", "qcd", "mdg", "track"):
+            assert name in out
+
+    @pytest.mark.parametrize(
+        "study", ["issue-split", "partition", "bypass", "expansion"],
+    )
+    def test_ablations(self, capsys, study):
+        assert main(["ablation", "--study", study, "--program", "trfd"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_explicit_scale_flag(self, capsys):
+        assert main(["--scale", "tiny", "table1"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic", "table1"])

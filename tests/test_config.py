@@ -1,0 +1,90 @@
+"""Unit tests for machine configurations and the latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigError, DMConfig, LatencyModel, SWSMConfig, UnitConfig
+from repro.config import DEFAULT_LATENCIES, MEMORY_DIFFERENTIALS
+
+
+class TestLatencyModel:
+    def test_defaults_match_paper(self):
+        model = LatencyModel()
+        assert model.int_op == 1
+        assert model.fp_op == 3
+        assert model.mem_base == 1
+        assert model.receive == 1
+
+    @pytest.mark.parametrize(
+        "field", ["int_op", "fp_op", "fp_div", "copy", "receive", "access",
+                  "store", "mem_base"],
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            LatencyModel(**{field: 0})
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(fp_op=2.5)
+
+    def test_default_instance_is_shared(self):
+        assert DEFAULT_LATENCIES == LatencyModel()
+
+
+class TestUnitConfig:
+    def test_valid(self):
+        unit = UnitConfig(window=32, width=4, name="AU")
+        assert unit.window == 32
+        assert unit.width == 4
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            UnitConfig(window=0, width=4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            UnitConfig(window=4, width=0)
+
+
+class TestDMConfig:
+    def test_symmetric_default_widths(self):
+        config = DMConfig.symmetric(32)
+        assert config.au.window == 32
+        assert config.du.window == 32
+        assert config.au.width == 4
+        assert config.du.width == 5
+        assert config.combined_issue_width == 9
+
+    def test_with_window_resizes_both_units(self):
+        config = DMConfig.symmetric(16).with_window(64)
+        assert config.au.window == 64
+        assert config.du.window == 64
+        assert config.au.width == 4  # widths preserved
+
+    def test_asymmetric_windows_supported(self):
+        config = DMConfig(
+            au=UnitConfig(window=8, width=4, name="AU"),
+            du=UnitConfig(window=64, width=5, name="DU"),
+        )
+        assert config.au.window != config.du.window
+
+
+class TestSWSMConfig:
+    def test_default_width_is_combined(self):
+        assert SWSMConfig(window=32).width == 9
+
+    def test_with_window(self):
+        assert SWSMConfig(window=32).with_window(128).window == 128
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            SWSMConfig(window=0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            SWSMConfig(window=8, width=-1)
+
+
+def test_differential_sweep_matches_figures():
+    assert MEMORY_DIFFERENTIALS == (0, 10, 20, 30, 40, 50, 60)

@@ -1,0 +1,84 @@
+"""Tests for the ESW and buffer-occupancy probes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecoupledMachine, DMConfig, SuperscalarMachine, SWSMConfig
+from repro.errors import MetricError
+from repro.metrics import esw_stats
+
+from tests.conftest import build_daxpy
+
+
+class TestEswProbe:
+    def test_slippage_grows_with_differential(self):
+        """The AU runs further ahead when memory is slower (paper §3)."""
+        program = build_daxpy(n=200)
+        machine = DecoupledMachine(DMConfig.symmetric(16))
+        compiled = machine.compile(program)
+        means = []
+        for md in (0, 20, 60):
+            result = machine.run(
+                compiled, memory_differential=md, probe_esw=True
+            )
+            means.append(result.esw_mean)
+        assert means[0] < means[1] < means[2]
+
+    def test_esw_exceeds_physical_windows_at_large_md(self):
+        program = build_daxpy(n=200)
+        machine = DecoupledMachine(DMConfig.symmetric(8))
+        result = machine.run(
+            machine.compile(program), memory_differential=60, probe_esw=True
+        )
+        stats = esw_stats(result, 60, physical_windows=16)
+        assert stats.peak >= stats.mean
+        assert stats.amplification > 1.0
+
+    def test_probe_disabled_by_default(self, daxpy):
+        machine = DecoupledMachine(DMConfig.symmetric(8))
+        result = machine.run_program(daxpy, memory_differential=60)
+        assert result.esw_peak == 0
+        with pytest.raises(MetricError, match="probe_esw"):
+            esw_stats(result, 60, physical_windows=16)
+
+
+class TestBufferProbe:
+    def test_decoupled_memory_fills_when_du_is_slow(self):
+        """A DU bottleneck leaves fetched data waiting in the buffer."""
+        from repro import KernelBuilder
+
+        builder = KernelBuilder("duslow")
+        a = builder.array("a", 256)
+        iv = None
+        for i in range(128):
+            iv = builder.induction(iv)
+            value = builder.load(a, i, iv)
+            # Deep serial FP chain: the DU falls behind the AU.
+            chain = builder.fmul(value, value)
+            for _ in range(6):
+                chain = builder.fadd(chain, value)
+        program = builder.build()
+        machine = DecoupledMachine(DMConfig.symmetric(32))
+        result = machine.run(
+            machine.compile(program),
+            memory_differential=0,
+            probe_buffers=True,
+        )
+        occupancy = result.buffer_occupancy
+        assert occupancy is not None
+        assert occupancy.items == program.stats.loads
+        assert occupancy.peak > 0
+
+    def test_prefetch_buffer_probe_on_swsm(self, daxpy):
+        machine = SuperscalarMachine(SWSMConfig(window=64))
+        result = machine.run(
+            machine.compile(daxpy), memory_differential=0, probe_buffers=True
+        )
+        assert result.buffer_occupancy is not None
+        assert result.buffer_occupancy.items == daxpy.stats.loads
+
+    def test_probe_disabled_by_default(self, daxpy):
+        machine = SuperscalarMachine(SWSMConfig(window=64))
+        result = machine.run_program(daxpy, memory_differential=60)
+        assert result.buffer_occupancy is None

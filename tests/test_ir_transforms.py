@@ -1,0 +1,65 @@
+"""Unit tests for the code-expansion transform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IRValidationError, OpClass
+from repro.ir.transforms import expand_code
+
+
+class TestExpandCode:
+    def test_zero_fraction_is_identity(self, daxpy):
+        assert expand_code(daxpy, 0.0) is daxpy
+
+    def test_inserted_count(self, daxpy):
+        expanded = expand_code(daxpy, 0.25)
+        assert len(expanded) == len(daxpy) + round(len(daxpy) * 0.25)
+
+    def test_result_validates(self, daxpy, feedback, rmw_chain):
+        for program in (daxpy, feedback, rmw_chain):
+            for fraction in (0.1, 0.5, 1.0):
+                expand_code(program, fraction).validate()
+
+    def test_original_dependencies_preserved(self, daxpy):
+        expanded = expand_code(daxpy, 0.5)
+        originals = [i for i in expanded if i.tag != "expansion"]
+        assert len(originals) == len(daxpy)
+        # Re-walk: the k-th original must have the same opcode and the
+        # same dependence *structure* (mapped through the insertion).
+        position_of = {inst.index: k for k, inst in enumerate(originals)}
+        for k, (old, new) in enumerate(zip(daxpy, originals)):
+            assert old.opcode is new.opcode
+            assert old.addr == new.addr
+            assert len(old.srcs) == len(new.srcs)
+            for old_dep, new_dep in zip(old.srcs, new.srcs):
+                assert position_of[new_dep] == old_dep
+
+    def test_overhead_ops_are_integer_class(self, daxpy):
+        expanded = expand_code(daxpy, 0.3)
+        overhead = [i for i in expanded if i.tag == "expansion"]
+        assert overhead and all(i.op_class is OpClass.INT for i in overhead)
+
+    def test_chained_flag_builds_a_chain(self, daxpy):
+        expanded = expand_code(daxpy, 0.3, chain=True)
+        overhead = [i for i in expanded if i.tag == "expansion"]
+        assert all(len(i.srcs) == 1 for i in overhead[1:])
+
+    def test_unchained_ops_are_independent(self, daxpy):
+        expanded = expand_code(daxpy, 0.3, chain=False)
+        overhead = [i for i in expanded if i.tag == "expansion"]
+        assert all(not i.srcs for i in overhead)
+
+    def test_name_and_meta_marked(self, daxpy):
+        expanded = expand_code(daxpy, 0.25)
+        assert expanded.name.endswith("+exp25")
+        assert expanded.meta["expansion_fraction"] == 0.25
+
+    def test_rejects_out_of_range_fraction(self, daxpy):
+        with pytest.raises(IRValidationError):
+            expand_code(daxpy, -0.1)
+        with pytest.raises(IRValidationError):
+            expand_code(daxpy, 4.5)
+
+    def test_tiny_fraction_rounds_to_identity(self, daxpy):
+        assert expand_code(daxpy, 1e-9) is daxpy

@@ -1,0 +1,80 @@
+"""Unit tests for the MachineProgram container and its validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PartitionError, Unit
+from repro.partition import MachineInstruction, MachineProgram, MemKind
+
+
+def op(gid, unit=Unit.SINGLE, kind=MemKind.NONE, latency=1, srcs=(),
+       addr=None):
+    return MachineInstruction(
+        gid=gid, unit=unit, mem_kind=kind, latency=latency, srcs=srcs,
+        addr=addr,
+    )
+
+
+class TestValidation:
+    def test_valid_two_unit_program(self):
+        program = MachineProgram("t", {
+            Unit.AU: [op(0, Unit.AU), op(2, Unit.AU, srcs=(0,))],
+            Unit.DU: [op(1, Unit.DU, srcs=(0,))],
+        })
+        program.validate()
+
+    def test_duplicate_gid_rejected(self):
+        program = MachineProgram("t", {
+            Unit.AU: [op(0, Unit.AU)],
+            Unit.DU: [op(0, Unit.DU)],
+        })
+        with pytest.raises(PartitionError, match="duplicate"):
+            program.validate()
+
+    def test_out_of_order_stream_rejected(self):
+        program = MachineProgram("t", {
+            Unit.SINGLE: [op(1), op(0)],
+        })
+        with pytest.raises(PartitionError, match="order"):
+            program.validate()
+
+    def test_wrong_unit_tag_rejected(self):
+        program = MachineProgram("t", {Unit.AU: [op(0, Unit.DU)]})
+        with pytest.raises(PartitionError, match="tagged"):
+            program.validate()
+
+    def test_dependency_on_unknown_gid_rejected(self):
+        program = MachineProgram("t", {Unit.SINGLE: [op(0, srcs=(7,))]})
+        with pytest.raises(PartitionError, match="unknown"):
+            program.validate()
+
+    def test_dependency_on_younger_gid_rejected(self):
+        program = MachineProgram("t", {
+            Unit.SINGLE: [op(0, srcs=(1,)), op(1)],
+        })
+        with pytest.raises(PartitionError, match="younger"):
+            program.validate()
+
+
+class TestAccessors:
+    def test_consumers(self):
+        program = MachineProgram("t", {
+            Unit.SINGLE: [op(0), op(1, srcs=(0,)), op(2, srcs=(0, 1))],
+        })
+        assert program.consumers[0] == [1, 2]
+        assert program.consumers[1] == [2]
+        assert program.consumers[2] == []
+
+    def test_unit_counts(self):
+        program = MachineProgram("t", {
+            Unit.AU: [op(0, Unit.AU)],
+            Unit.DU: [op(1, Unit.DU), op(2, Unit.DU)],
+        })
+        assert program.unit_counts() == {Unit.AU: 1, Unit.DU: 2}
+        assert program.num_instructions == 3
+
+    def test_is_memory_access(self):
+        assert op(0, kind=MemKind.PREFETCH_LOAD, addr=4).is_memory_access
+        assert op(0, kind=MemKind.SELF_LOAD, addr=4).is_memory_access
+        assert not op(0, kind=MemKind.RECEIVE).is_memory_access

@@ -1,0 +1,129 @@
+"""Unit tests for the machine wrapper classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DecoupledMachine,
+    DMConfig,
+    FixedLatencyMemory,
+    SerialMachine,
+    SuperscalarMachine,
+    SWSMConfig,
+    Unit,
+)
+
+
+class TestDecoupledMachine:
+    def test_compile_once_run_many(self, daxpy):
+        compiled = DecoupledMachine.compile(daxpy)
+        small = DecoupledMachine(DMConfig.symmetric(4)).run(
+            compiled, memory_differential=60
+        )
+        large = DecoupledMachine(DMConfig.symmetric(64)).run(
+            compiled, memory_differential=60
+        )
+        assert large.cycles <= small.cycles
+
+    def test_run_program_matches_compile_and_run(self, daxpy):
+        machine = DecoupledMachine(DMConfig.symmetric(16))
+        direct = machine.run_program(daxpy, memory_differential=30)
+        compiled = machine.compile(daxpy)
+        staged = machine.run(compiled, memory_differential=30)
+        assert direct.cycles == staged.cycles
+
+    def test_memory_and_differential_are_exclusive(self, daxpy):
+        machine = DecoupledMachine(DMConfig.symmetric(16))
+        compiled = machine.compile(daxpy)
+        with pytest.raises(ValueError):
+            machine.run(
+                compiled,
+                memory=FixedLatencyMemory(10),
+                memory_differential=10,
+            )
+
+    def test_default_memory_is_zero_differential(self, daxpy):
+        machine = DecoupledMachine(DMConfig.symmetric(16))
+        default = machine.run_program(daxpy)
+        explicit = machine.run_program(daxpy, memory_differential=0)
+        assert default.cycles == explicit.cycles
+
+    def test_unit_stats_cover_both_units(self, daxpy):
+        result = DecoupledMachine(DMConfig.symmetric(16)).run_program(daxpy)
+        assert set(result.unit_stats) == {Unit.AU, Unit.DU}
+        total = sum(s.instructions for s in result.unit_stats.values())
+        assert total == result.instructions
+
+
+class TestSuperscalarMachine:
+    def test_runs(self, daxpy):
+        result = SuperscalarMachine(SWSMConfig(window=16)).run_program(
+            daxpy, memory_differential=60
+        )
+        assert result.cycles > 0
+        assert set(result.unit_stats) == {Unit.SINGLE}
+
+    def test_memory_and_differential_are_exclusive(self, daxpy):
+        machine = SuperscalarMachine(SWSMConfig(window=16))
+        compiled = machine.compile(daxpy)
+        with pytest.raises(ValueError):
+            machine.run(
+                compiled,
+                memory=FixedLatencyMemory(10),
+                memory_differential=10,
+            )
+
+    def test_wider_window_never_hurts_streaming(self, daxpy):
+        machine_small = SuperscalarMachine(SWSMConfig(window=4))
+        machine_large = SuperscalarMachine(SWSMConfig(window=256))
+        small = machine_small.run_program(daxpy, memory_differential=60)
+        large = machine_large.run_program(daxpy, memory_differential=60)
+        assert large.cycles <= small.cycles
+
+
+class TestSerialMachine:
+    def test_matches_analytic_serial_time(self, daxpy):
+        result = SerialMachine().run(daxpy, 60)
+        assert result.cycles == daxpy.serial_time(60)
+        assert result.instructions == len(daxpy)
+
+    def test_cpi_reflects_memory_cost(self, daxpy):
+        fast = SerialMachine().run(daxpy, 0)
+        slow = SerialMachine().run(daxpy, 60)
+        assert slow.cpi > fast.cpi
+
+
+class TestMachineComparisons:
+    """The structural relationships every program must satisfy."""
+
+    def test_both_machines_beat_serial_on_streams(self, daxpy):
+        serial = SerialMachine().run(daxpy, 60).cycles
+        dm = DecoupledMachine(DMConfig.symmetric(32)).run_program(
+            daxpy, memory_differential=60
+        ).cycles
+        swsm = SuperscalarMachine(SWSMConfig(window=32)).run_program(
+            daxpy, memory_differential=60
+        ).cycles
+        assert dm < serial
+        assert swsm < serial
+
+    def test_machines_bounded_by_critical_path(self, daxpy, feedback):
+        for program in (daxpy, feedback):
+            bound = program.critical_path(60)
+            dm = DecoupledMachine(
+                DMConfig.symmetric(len(program))
+            ).run_program(program, memory_differential=60)
+            assert dm.cycles >= bound
+
+    def test_pointer_chase_defeats_both_machines(self, pointer_chase):
+        """Serially dependent loads cannot be prefetched by anybody."""
+        chain_bound = pointer_chase.stats.loads * 61
+        dm = DecoupledMachine(DMConfig.symmetric(64)).run_program(
+            pointer_chase, memory_differential=60
+        )
+        swsm = SuperscalarMachine(SWSMConfig(window=64)).run_program(
+            pointer_chase, memory_differential=60
+        )
+        assert dm.cycles >= chain_bound
+        assert swsm.cycles >= chain_bound

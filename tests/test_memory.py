@@ -1,0 +1,162 @@
+"""Unit tests for the memory-system models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BypassBuffer, ConfigError, FixedLatencyMemory
+from repro.errors import MetricError
+from repro.memory import (
+    CacheLevelConfig,
+    CacheMemory,
+    OccupancyStats,
+    occupancy_from_intervals,
+)
+
+
+class TestFixedLatencyMemory:
+    def test_constant_cost(self):
+        memory = FixedLatencyMemory(60)
+        assert memory.extra_latency(0, 0) == 60
+        assert memory.extra_latency(12345, 999) == 60
+
+    def test_zero_differential(self):
+        assert FixedLatencyMemory(0).extra_latency(4, 1) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            FixedLatencyMemory(-1)
+
+    def test_describe(self):
+        assert "60" in FixedLatencyMemory(60).describe()
+
+
+class TestCacheMemory:
+    def _small_cache(self) -> CacheMemory:
+        level = CacheLevelConfig(
+            name="L1", size_bytes=128, line_bytes=16, associativity=2,
+            hit_extra=0,
+        )
+        return CacheMemory(levels=(level,), miss_extra=60)
+
+    def test_miss_then_hit(self):
+        cache = self._small_cache()
+        assert cache.extra_latency(0, 0) == 60  # cold miss
+        assert cache.extra_latency(0, 1) == 0  # now cached
+        assert cache.extra_latency(8, 2) == 0  # same 16-byte line
+
+    def test_lru_eviction(self):
+        cache = self._small_cache()  # 4 sets x 2 ways
+        # Three lines mapping to the same set (stride = sets*line = 64).
+        cache.extra_latency(0, 0)
+        cache.extra_latency(64, 1)
+        cache.extra_latency(128, 2)  # evicts line 0
+        assert cache.extra_latency(0, 3) == 60
+
+    def test_lru_refresh_on_hit(self):
+        cache = self._small_cache()
+        cache.extra_latency(0, 0)
+        cache.extra_latency(64, 1)
+        cache.extra_latency(0, 2)  # refresh line 0
+        cache.extra_latency(128, 3)  # evicts line 64, not line 0
+        assert cache.extra_latency(0, 4) == 0
+        assert cache.extra_latency(64, 5) == 60
+
+    def test_two_level_fill(self):
+        l1 = CacheLevelConfig(name="L1", size_bytes=32, line_bytes=16,
+                              associativity=2, hit_extra=0)
+        l2 = CacheLevelConfig(name="L2", size_bytes=256, line_bytes=16,
+                              associativity=2, hit_extra=6)
+        cache = CacheMemory(levels=(l1, l2), miss_extra=60)
+        assert cache.extra_latency(0, 0) == 60
+        # Evict from tiny L1 (both ways of its single... two sets).
+        cache.extra_latency(32, 1)
+        cache.extra_latency(64, 2)
+        # Line 0 is gone from L1 but still in L2.
+        assert cache.extra_latency(0, 3) == 6
+
+    def test_reset_clears_state(self):
+        cache = self._small_cache()
+        cache.extra_latency(0, 0)
+        cache.reset()
+        assert cache.extra_latency(0, 1) == 60
+        assert cache.levels[0].hits == 0
+
+    def test_hit_rate(self):
+        cache = self._small_cache()
+        cache.extra_latency(0, 0)
+        cache.extra_latency(0, 1)
+        assert cache.levels[0].hit_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheLevelConfig(name="bad", size_bytes=8, line_bytes=16,
+                             associativity=1, hit_extra=0)
+        with pytest.raises(ConfigError):
+            CacheLevelConfig(name="bad", size_bytes=100, line_bytes=16,
+                             associativity=2, hit_extra=0)
+        with pytest.raises(ConfigError):
+            CacheMemory(levels=(), miss_extra=10)
+
+
+class TestBypassBuffer:
+    def test_hit_after_fetch(self):
+        bypass = BypassBuffer(FixedLatencyMemory(60), entries=4, line_bytes=1)
+        assert bypass.extra_latency(7, 0) == 60
+        assert bypass.extra_latency(7, 1) == 0
+        assert bypass.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        bypass = BypassBuffer(FixedLatencyMemory(60), entries=2, line_bytes=1)
+        bypass.extra_latency(1, 0)
+        bypass.extra_latency(2, 1)
+        bypass.extra_latency(3, 2)  # evicts 1
+        assert bypass.extra_latency(1, 3) == 60
+
+    def test_line_granularity(self):
+        bypass = BypassBuffer(FixedLatencyMemory(60), entries=4, line_bytes=32)
+        bypass.extra_latency(0, 0)
+        assert bypass.extra_latency(31, 1) == 0  # same line
+        assert bypass.extra_latency(32, 2) == 60
+
+    def test_reset_propagates(self):
+        backing = FixedLatencyMemory(60)
+        bypass = BypassBuffer(backing, entries=2)
+        bypass.extra_latency(0, 0)
+        bypass.reset()
+        assert bypass.hits == 0 and bypass.misses == 0
+        assert bypass.extra_latency(0, 1) == 60
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BypassBuffer(FixedLatencyMemory(0), entries=0)
+        with pytest.raises(ConfigError):
+            BypassBuffer(FixedLatencyMemory(0), line_bytes=0)
+
+
+class TestOccupancy:
+    def test_empty(self):
+        assert occupancy_from_intervals([]) == OccupancyStats.empty()
+
+    def test_non_overlapping(self):
+        stats = occupancy_from_intervals([(0, 5), (10, 15)])
+        assert stats.peak == 1
+        assert stats.items == 2
+
+    def test_overlapping_peak(self):
+        stats = occupancy_from_intervals([(0, 10), (2, 8), (4, 6)])
+        assert stats.peak == 3
+
+    def test_mean_is_time_weighted(self):
+        # One item buffered for 10 cycles over a 10-cycle span.
+        stats = occupancy_from_intervals([(0, 10)])
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_zero_length_intervals_contribute_nothing(self):
+        stats = occupancy_from_intervals([(5, 5), (6, 6)])
+        assert stats.peak == 0
+        assert stats.items == 2
+
+    def test_rejects_backwards_interval(self):
+        with pytest.raises(MetricError):
+            occupancy_from_intervals([(5, 3)])

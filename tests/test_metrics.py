@@ -1,0 +1,138 @@
+"""Unit tests for the paper metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MetricError, ProjectionError, classify_band, lhe, speedup
+from repro.metrics import (
+    LhePoint,
+    SpeedupPoint,
+    equivalent_window_ratio,
+    find_equivalent_window,
+)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(100, 25) == 4.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MetricError):
+            speedup(0, 10)
+        with pytest.raises(MetricError):
+            speedup(10, 0)
+
+    def test_point(self):
+        point = SpeedupPoint(
+            program="p", machine="DM", window=32, memory_differential=60,
+            machine_cycles=50, serial_cycles=500,
+        )
+        assert point.speedup == 10.0
+
+
+class TestLhe:
+    def test_perfect_hiding(self):
+        assert lhe(100, 100) == 1.0
+
+    def test_partial_hiding(self):
+        assert lhe(100, 200) == 0.5
+
+    def test_rejects_actual_faster_than_perfect(self):
+        with pytest.raises(MetricError, match="beats perfect"):
+            lhe(100, 90)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MetricError):
+            lhe(0, 10)
+
+    def test_point_band(self):
+        point = LhePoint(
+            program="p", machine="DM", window=None, memory_differential=60,
+            perfect_cycles=90, actual_cycles=100,
+        )
+        assert point.lhe == 0.9
+        assert point.band == "high"
+
+
+class TestBands:
+    @pytest.mark.parametrize(
+        "value,band",
+        [(1.0, "high"), (0.85, "high"), (0.84, "moderate"), (0.45, "moderate"),
+         (0.44, "poor"), (0.0, "poor")],
+    )
+    def test_thresholds(self, value, band):
+        assert classify_band(value) == band
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MetricError):
+            classify_band(1.2)
+        with pytest.raises(MetricError):
+            classify_band(-0.1)
+
+
+class TestEquivalentWindow:
+    def test_exact_crossing(self):
+        # time(w) = 1000 // w: window 10 gives exactly 100.
+        calls = []
+
+        def evaluate(window: int) -> int:
+            calls.append(window)
+            return 1000 // window
+
+        assert find_equivalent_window(evaluate, 100) == 10.0
+
+    def test_interpolates_between_integers(self):
+        def evaluate(window: int) -> int:
+            return max(10, 1000 - 100 * window)
+
+        # Target 250 falls between windows 7 (300) and 8 (200).
+        result = find_equivalent_window(evaluate, 250)
+        assert 7 < result < 8
+        assert result == pytest.approx(7.5)
+
+    def test_already_met_at_window_one(self):
+        assert find_equivalent_window(lambda w: 5, 100) == 1.0
+
+    def test_raises_when_unreachable(self):
+        with pytest.raises(ProjectionError, match="cannot match"):
+            find_equivalent_window(lambda w: 10_000, 100, max_window=256)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ProjectionError):
+            find_equivalent_window(lambda w: 1, 0)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ProjectionError):
+            find_equivalent_window(lambda w: 1, 10, start=0)
+
+    def test_plateau_function(self):
+        def evaluate(window: int) -> int:
+            return 100 if window < 32 else 50
+
+        assert find_equivalent_window(evaluate, 50) == 32.0
+        # A target inside the jump interpolates within (31, 32].
+        result = find_equivalent_window(evaluate, 75)
+        assert 31 < result <= 32
+
+    def test_ratio_helper(self):
+        def evaluate(window: int) -> int:
+            return 1000 // window
+
+        ratio = equivalent_window_ratio(evaluate, dm_window=8, dm_cycles=50)
+        assert ratio == pytest.approx(20 / 8)
+
+    def test_ratio_rejects_bad_window(self):
+        with pytest.raises(ProjectionError):
+            equivalent_window_ratio(lambda w: 1, dm_window=0, dm_cycles=10)
+
+    def test_search_is_economical(self):
+        calls = []
+
+        def evaluate(window: int) -> int:
+            calls.append(window)
+            return 10_000 // window
+
+        find_equivalent_window(evaluate, 37)
+        # Exponential bracket + bisection stays logarithmic.
+        assert len(calls) < 25

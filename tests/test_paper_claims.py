@@ -1,0 +1,215 @@
+"""Integration tests: the paper's qualitative claims must reproduce.
+
+These run at a reduced scale (8k instructions per kernel), so the
+assertions check *shapes and orderings* — who wins, in which regime —
+with margins, not absolute numbers. EXPERIMENTS.md records the
+full-scale results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_esw_study,
+    run_ewr_figure,
+    run_speedup_figure,
+    run_table1,
+)
+from repro.kernels import PAPER_ORDER, get_kernel
+
+HIGH_BAND = ("trfd", "adm", "flo52q")
+MODERATE_BAND = ("dyfesm", "qcd", "mdg")
+
+
+class TestTable1Bands:
+    """Table 1: unlimited-window LHE bands at md=60."""
+
+    def test_high_band(self, claims_lab):
+        for name in HIGH_BAND:
+            assert claims_lab.dm_lhe(name, None, 60) >= 0.80, name
+
+    def test_moderate_band(self, claims_lab):
+        for name in MODERATE_BAND:
+            lhe = claims_lab.dm_lhe(name, None, 60)
+            assert 0.40 <= lhe <= 0.85, (name, lhe)
+
+    def test_poor_band(self, claims_lab):
+        assert claims_lab.dm_lhe("track", None, 60) <= 0.45
+
+    def test_band_ordering_matches_paper(self, claims_lab):
+        """Every high-band program beats every moderate one, etc."""
+        worst_high = min(claims_lab.dm_lhe(n, None, 60) for n in HIGH_BAND)
+        best_moderate = max(
+            claims_lab.dm_lhe(n, None, 60) for n in MODERATE_BAND
+        )
+        worst_moderate = min(
+            claims_lab.dm_lhe(n, None, 60) for n in MODERATE_BAND
+        )
+        track = claims_lab.dm_lhe("track", None, 60)
+        assert worst_high > best_moderate > worst_moderate > track
+
+
+class TestLheWindowShape:
+    """Paper §5: LHE falls as small windows grow, then recovers."""
+
+    @pytest.mark.parametrize("name", ["trfd", "adm", "flo52q", "mdg"])
+    def test_dip_then_recovery(self, claims_lab, name):
+        small = claims_lab.dm_lhe(name, 8, 60)
+        mid = claims_lab.dm_lhe(name, 48, 60)
+        large = claims_lab.dm_lhe(name, 256, 60)
+        assert small > mid, f"{name}: no initial reduction"
+        assert large > mid, f"{name}: no recovery"
+
+    def test_large_windows_do_not_reach_unlimited(self, claims_lab):
+        """Even 128-entry windows stay below the unlimited LHE for most
+        programs (paper: "even with large window sizes we do not
+        approach the LHE of a DM with unlimited resources")."""
+        behind = 0
+        for name in PAPER_ORDER:
+            if (claims_lab.dm_lhe(name, 128, 60)
+                    < claims_lab.dm_lhe(name, None, 60) - 1e-9):
+                behind += 1
+        # The descriptor-gated programs (the high band) show this most
+        # strongly; braid-bound programs converge once the chain floor
+        # dominates.
+        assert behind >= 3
+
+    def test_track_never_recovers(self, claims_lab):
+        """TRACK is the odd one out: its LHE stays on the floor."""
+        assert claims_lab.dm_lhe("track", 8, 60) > claims_lab.dm_lhe(
+            "track", 256, 60
+        )
+
+
+class TestSpeedupFigures:
+    """Figures 4-6: DM vs SWSM speedup curves."""
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_md0_small_windows_favour_dm(self, claims_lab, name):
+        """Two windows beat one when windows are the bottleneck."""
+        assert (claims_lab.dm_speedup(name, 8, 0)
+                > claims_lab.swsm_speedup(name, 8, 0))
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_md0_cutoff_exists(self, claims_lab, name):
+        """The SWSM's full issue width eventually overtakes at md=0."""
+        overtaken = any(
+            claims_lab.swsm_speedup(name, window, 0)
+            >= claims_lab.dm_speedup(name, window, 0)
+            for window in (32, 48, 64, 100, 128)
+        )
+        assert overtaken, f"{name}: SWSM never overtakes at md=0"
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_md60_dm_wins_through_figure_range(self, claims_lab, name):
+        """At md=60 the DM wins at every plotted window size.
+
+        (TRACK ties within a whisker at the largest windows; the paper
+        itself reports 'little difference' there.)
+        """
+        tolerance = 1.02 if name == "track" else 1.0
+        for window in (8, 16, 32, 64, 96):
+            dm = claims_lab.dm_speedup(name, window, 60)
+            swsm = claims_lab.swsm_speedup(name, window, 60)
+            assert swsm <= dm * tolerance, (name, window, dm, swsm)
+
+    def test_gap_largest_for_parallel_program(self, claims_lab):
+        """FLO52Q shows a large md=60 gap; TRACK shows a small one."""
+        def gap(name: str) -> float:
+            return (claims_lab.dm_speedup(name, 64, 60)
+                    / claims_lab.swsm_speedup(name, 64, 60))
+
+        assert gap("flo52q") > gap("track")
+        assert gap("flo52q") > 1.5
+        assert gap("track") < 1.35
+
+    def test_diminishing_returns_with_window(self, claims_lab):
+        """Doubling the window beyond ~16 does not double the speedup."""
+        for name in ("trfd", "flo52q"):
+            at_32 = claims_lab.dm_speedup(name, 32, 0)
+            at_64 = claims_lab.dm_speedup(name, 64, 0)
+            assert at_64 < 2 * at_32
+
+    def test_speedups_grow_with_differential(self, claims_lab):
+        """The serial reference degrades faster than the machines."""
+        for name in ("flo52q", "mdg"):
+            assert (claims_lab.dm_speedup(name, 64, 60)
+                    > claims_lab.dm_speedup(name, 64, 0))
+
+
+class TestEwrFigures:
+    """Figures 7-9: equivalent window ratio behaviour."""
+
+    def test_ratio_grows_with_differential(self, claims_lab):
+        figure = run_ewr_figure(
+            claims_lab, "flo52q", dm_windows=(32,),
+            differentials=(0, 30, 60),
+        )
+        ratios = [figure.curve(md).at(32) for md in (0, 30, 60)]
+        assert ratios[0] < ratios[1] <= ratios[2] * 1.05
+
+    @pytest.mark.parametrize("name", ["flo52q", "mdg", "track"])
+    def test_ratio_falls_with_dm_window(self, claims_lab, name):
+        figure = run_ewr_figure(
+            claims_lab, name, dm_windows=(16, 96), differentials=(60,),
+        )
+        curve = figure.curve(60)
+        assert curve.at(96) < curve.at(16)
+
+    def test_swsm_needs_several_times_the_window(self, claims_lab):
+        """Paper: roughly 2-4x at a realistic window and md=60."""
+        figure = run_ewr_figure(
+            claims_lab, "flo52q", dm_windows=(64,), differentials=(60,),
+        )
+        ratio = figure.curve(60).at(64)
+        assert 1.8 <= ratio <= 5.0
+
+    def test_track_ratio_is_smallest(self, claims_lab):
+        ratios = {}
+        for name in ("flo52q", "track"):
+            figure = run_ewr_figure(
+                claims_lab, name, dm_windows=(32,), differentials=(60,),
+            )
+            ratios[name] = figure.curve(60).at(32)
+        assert ratios["track"] < ratios["flo52q"]
+
+
+class TestEsw:
+    """Paper §3: the effective single window exceeds the physical ones."""
+
+    def test_amplification_above_one_at_md60(self, claims_lab):
+        rows = run_esw_study(
+            claims_lab, ("flo52q",), window=16, differentials=(60,),
+        )
+        assert rows[0].stats.amplification > 1.0
+
+    def test_slippage_grows_with_differential(self):
+        """When the DU is *data*-bound, slippage tracks the latency.
+
+        (At small windows an ILP-bound DU lags the AU for scheduling
+        reasons at any differential, so this uses a shallow-chain
+        stream where the DU genuinely waits on the decoupled memory.)
+        """
+        from repro.experiments import Lab
+        from repro.kernels import SyntheticParams, build_synthetic_stream
+
+        lab = Lab(scale=4_000)
+        lab.register_program(build_synthetic_stream(
+            4_000, SyntheticParams(loads=2, stores=1, chain_depth=2),
+            name="stream",
+        ))
+        rows = run_esw_study(lab, ("stream",), window=16,
+                             differentials=(0, 60))
+        by_md = {row.memory_differential: row.stats.mean for row in rows}
+        assert by_md[60] > by_md[0]
+
+
+class TestWholeTable(object):
+    def test_table1_reproduces_all_bands(self, claims_lab):
+        result = run_table1(claims_lab)
+        assert result.bands_correct == len(result.rows)
+
+    def test_every_kernel_band_is_declared(self):
+        for name in PAPER_ORDER:
+            assert get_kernel(name).band in {"high", "moderate", "poor"}

@@ -1,0 +1,66 @@
+"""Calibration diagnostics: per-kernel shape report against paper claims.
+
+Run:  python tools/calibrate.py [scale] [program ...]
+
+Reports, for each kernel:
+  * LHE across DM windows at md=60 (paper Table 1 shape: high at small
+    windows, dip in the middle, recovery toward the unlimited value);
+  * the md=0 crossover window (SWSM overtakes) and the md=60 crossover
+    (should not exist);
+  * EWR at DM window 32, md=60 (paper: roughly 2-4x);
+  * speedup extremes for scale sanity.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import Lab, run_speedup_figure
+from repro.kernels import PAPER_ORDER
+from repro.metrics import find_equivalent_window
+from repro.errors import ProjectionError
+
+WINDOWS = (8, 16, 32, 64, 128, 256, None)
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    scale = int(args[0]) if args else 20_000
+    programs = tuple(args[1:]) or PAPER_ORDER
+    lab = Lab(scale=scale)
+    for name in programs:
+        started = time.time()
+        lhe_row = [lab.dm_lhe(name, w, 60) for w in WINDOWS]
+        fig = run_speedup_figure(
+            lab, name, windows=(4, 8, 16, 32, 48, 64, 100)
+        )
+        cross0 = fig.crossover_window(0)
+        cross60 = fig.crossover_window(60)
+        # DM at 1024 vs SWSM at 1024, md=60 (the paper's strong claim).
+        dm_1024 = lab.dm_cycles(name, 1024, 60)
+        swsm_1024 = lab.swsm_cycles(name, 1024, 60)
+        ewrs = {}
+        for dm_window in (32, 64):
+            try:
+                eq = find_equivalent_window(
+                    lambda w: lab.swsm_cycles(name, w, 60),
+                    lab.dm_cycles(name, dm_window, 60),
+                    start=dm_window,
+                )
+                ewrs[dm_window] = eq / dm_window
+            except ProjectionError:
+                ewrs[dm_window] = float("nan")
+        ewr32, ewr64 = ewrs[32], ewrs[64]
+        lhe_text = " ".join(f"{v:.2f}" for v in lhe_row)
+        print(
+            f"{name:8s} LHE[8..256,unl]={lhe_text}  x0={cross0} x60={cross60} "
+            f"dm/sw@1024md60={swsm_1024 / dm_1024:.2f} "
+            f"ewr32={ewr32:.2f} ewr64={ewr64:.2f} "
+            f"spd60(100)={fig.curve('DM', 60).at(100):.1f} "
+            f"({time.time() - started:.0f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()
