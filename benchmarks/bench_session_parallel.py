@@ -1,0 +1,51 @@
+"""Executor benchmark: serial vs process-pool evaluation of a sweep.
+
+Runs the same Fig-4-sized grid (DM + SWSM + serial over the preset's
+window axis at md = 0 and 60) through three fresh sessions: one
+serial, one with a process pool, and one that re-reads a warm disk
+cache. The benchmark timer measures the serial run (so the artefact's
+perf trajectory stays comparable); the parallel and cached timings are
+printed alongside, with a parity check that all three agree
+cycle-for-cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.api import Session, speedup_sweep
+
+
+def _fig4_sweep(preset):
+    return speedup_sweep("flo52q", windows=preset.speedup_windows)
+
+
+def test_session_parallel_speedup(preset, benchmark, tmp_path):
+    sweep = _fig4_sweep(preset)
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_session = Session(scale=preset.scale)
+    serial = run_once(benchmark, lambda: serial_session.run(sweep, jobs=1))
+
+    parallel_session = Session(scale=preset.scale, cache_dir=tmp_path)
+    start = time.perf_counter()
+    parallel = parallel_session.run(sweep, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    cached_session = Session(scale=preset.scale, cache_dir=tmp_path)
+    start = time.perf_counter()
+    cached = cached_session.run(sweep, jobs=1)
+    cached_seconds = time.perf_counter() - start
+
+    assert serial.cycles() == parallel.cycles() == cached.cycles()
+    assert cached_session.stats["evaluated"] == 0, "warm cache re-simulated"
+
+    print()
+    print(f"  sweep: {len(sweep)} points at scale={preset.scale}")
+    print(f"  process pool (jobs={jobs}): {parallel_seconds:.2f}s "
+          f"on {os.cpu_count()} cpu(s)")
+    print(f"  warm disk cache: {cached_seconds:.3f}s "
+          f"({cached_session.stats['disk_hits']} hits, 0 simulated)")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import Lab, ScalePreset, active_preset
+from repro.experiments import ScalePreset, Session, active_preset
 
 
 @pytest.fixture(scope="session")
@@ -23,8 +23,8 @@ def preset() -> ScalePreset:
 
 
 @pytest.fixture(scope="session")
-def lab(preset: ScalePreset) -> Lab:
-    return Lab(scale=preset.scale)
+def lab(preset: ScalePreset) -> Session:
+    return Session(scale=preset.scale)
 
 
 def run_once(benchmark, func):

@@ -1,3 +1,14 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-jones-topham-1997",
+    version="1.0.0",
+    description=(
+        "Jones & Topham (MICRO-30, 1997) reproduced: access decoupled "
+        "vs single-window superscalar data prefetching"
+    ),
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -2,19 +2,40 @@
 
 A trace-driven microarchitecture study comparing data prefetching on an
 access decoupled machine (DM) and a single-window out-of-order
-superscalar machine (SWSM). See DESIGN.md for the system inventory and
-EXPERIMENTS.md for the paper-versus-measured record.
+superscalar machine (SWSM). See README.md for the quickstart, the
+artefact map and the timing-semantics summary, and docs/api.md for the
+declarative experiment API.
 
 Quickstart::
 
-    from repro import Lab, run_speedup_figure
+    from repro import Session, run_speedup_figure
 
-    lab = Lab(scale=12_000)
-    figure = run_speedup_figure(lab, "flo52q")
+    session = Session(scale=12_000)
+    figure = run_speedup_figure(session, "flo52q")
     print(figure.crossover_window(0))    # SWSM overtakes at md=0 ...
     print(figure.crossover_window(60))   # ... but never at md=60
+
+Any grid over (kernel, machine, window, memory differential, ...) is a
+declarative sweep — parallel and disk-cached::
+
+    from repro import Sweep, Session
+
+    session = Session(scale=12_000, cache_dir=".repro-cache", jobs=4)
+    sweep = Sweep.grid(program=("mdg", "track"), machine=("dm", "swsm"),
+                       window=(16, 64), memory_differential=(0, 60))
+    for point, result in session.run(sweep):
+        print(point.program, point.machine, result.cycles)
 """
 
+from .api import (
+    UNLIMITED,
+    MemorySpec,
+    Point,
+    Session,
+    Sweep,
+    SweepResult,
+    load_sweep,
+)
 from .config import (
     DEFAULT_LATENCIES,
     DEFAULT_MEMORY_DIFFERENTIAL,
@@ -58,9 +79,13 @@ from .kernels import (
 )
 from .machines import (
     DecoupledMachine,
+    MachineModel,
     SerialMachine,
     SimulationResult,
     SuperscalarMachine,
+    get_machine,
+    list_machines,
+    register_machine,
 )
 from .memory import BypassBuffer, CacheMemory, FixedLatencyMemory, MemorySystem
 from .metrics import (
@@ -98,23 +123,30 @@ __all__ = [
     "Lab",
     "LatencyModel",
     "MEMORY_DIFFERENTIALS",
+    "MachineModel",
     "MachineProgram",
+    "MemorySpec",
     "MemorySystem",
     "MetricError",
     "OpClass",
     "Opcode",
     "PAPER_ORDER",
     "PartitionError",
+    "Point",
     "Program",
     "ProjectionError",
     "ReproError",
     "SWSMConfig",
     "SerialMachine",
+    "Session",
     "SimulationDeadlockError",
     "SimulationError",
     "SimulationResult",
     "SuperscalarMachine",
+    "Sweep",
+    "SweepResult",
     "SyntheticParams",
+    "UNLIMITED",
     "Unit",
     "UnitConfig",
     "Value",
@@ -126,10 +158,14 @@ __all__ = [
     "equivalent_window_ratio",
     "find_equivalent_window",
     "get_kernel",
+    "get_machine",
     "lhe",
     "list_kernels",
+    "list_machines",
+    "load_sweep",
     "lower_swsm",
     "partition_dm",
+    "register_machine",
     "run_bypass_ablation",
     "run_code_expansion_ablation",
     "run_esw_study",

@@ -1,0 +1,50 @@
+"""Declarative experiment API: specs, sessions, presets.
+
+The three layers:
+
+* :mod:`repro.api.spec` — frozen :class:`Point`/:class:`Sweep` specs
+  that *describe* experiments (and serialise to TOML/JSON);
+* :mod:`repro.api.session` — the :class:`Session` that *evaluates*
+  them, with three-level memoisation, a content-addressed disk cache
+  and a process-pool executor;
+* :mod:`repro.api.presets` — the named sweeps behind every paper
+  artefact.
+
+See docs/api.md for a guided tour.
+"""
+
+from .spec import UNLIMITED, MemorySpec, Point, Sweep, load_sweep, point_digest
+from .session import Session, SweepResult
+from .presets import (
+    PRESETS_NEEDING_PROGRAM,
+    SWEEP_PRESETS,
+    bypass_sweep,
+    esw_sweep,
+    ewr_dm_sweep,
+    expansion_sweep,
+    issue_split_sweep,
+    partition_sweep,
+    speedup_sweep,
+    table1_sweep,
+)
+
+__all__ = [
+    "MemorySpec",
+    "Point",
+    "PRESETS_NEEDING_PROGRAM",
+    "SWEEP_PRESETS",
+    "Session",
+    "Sweep",
+    "SweepResult",
+    "UNLIMITED",
+    "bypass_sweep",
+    "esw_sweep",
+    "ewr_dm_sweep",
+    "expansion_sweep",
+    "issue_split_sweep",
+    "load_sweep",
+    "partition_sweep",
+    "point_digest",
+    "speedup_sweep",
+    "table1_sweep",
+]

@@ -1,0 +1,248 @@
+"""Named sweeps reproducing every artefact of the paper.
+
+Each factory returns the declarative :class:`~repro.api.spec.Sweep`
+behind one table, figure or ablation; the experiment drivers in
+:mod:`repro.experiments` evaluate exactly these grids, and the CLI
+exposes them by name (``repro sweep --preset fig4``). Extra keyword
+arguments override base-point fields (issue widths, partition, ...),
+which is how a session with non-default widths reuses the same grids.
+
+``SWEEP_PRESETS`` maps preset names to factories. Factories listed in
+``PRESETS_NEEDING_PROGRAM`` take the program as their first argument;
+the rest are complete as-is.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_MEMORY_DIFFERENTIAL
+from ..kernels import PAPER_ORDER
+from ..partition.strategies import PARTITION_STRATEGIES
+from .spec import MemorySpec, Sweep
+
+__all__ = [
+    "EWR_DIFFERENTIALS",
+    "EWR_WINDOWS",
+    "FIGURE_PROGRAMS",
+    "SPEEDUP_DIFFERENTIALS",
+    "SPEEDUP_WINDOWS",
+    "SWEEP_PRESETS",
+    "PRESETS_NEEDING_PROGRAM",
+    "TABLE1_WINDOWS",
+    "bypass_sweep",
+    "esw_sweep",
+    "ewr_dm_sweep",
+    "expansion_sweep",
+    "issue_split_sweep",
+    "partition_sweep",
+    "speedup_sweep",
+    "table1_sweep",
+]
+
+#: Window axis of figures 4-6 (0-100 in the paper).
+SPEEDUP_WINDOWS = (4, 8, 12, 16, 24, 32, 48, 64, 80, 100)
+
+#: DM-window axis of figures 7-9 (10-100 in the paper).
+EWR_WINDOWS = (10, 20, 32, 48, 64, 80, 100)
+
+#: Table 1 columns; ``None`` is the paper's "unlimited" column.
+TABLE1_WINDOWS = (8, 16, 32, 64, 128, 256, None)
+
+#: Figures 4-6 plot md=0 and md=60.
+SPEEDUP_DIFFERENTIALS = (0, 60)
+
+#: Figures 7-9 sweep md=0..60 in steps of 10.
+EWR_DIFFERENTIALS = (0, 10, 20, 30, 40, 50, 60)
+
+#: The three representative programs of the figures.
+FIGURE_PROGRAMS = ("flo52q", "mdg", "track")
+
+
+def table1_sweep(
+    programs: tuple[str, ...] = PAPER_ORDER,
+    windows: tuple[int | None, ...] = TABLE1_WINDOWS,
+    memory_differential: int = DEFAULT_MEMORY_DIFFERENTIAL,
+    **base: object,
+) -> Sweep:
+    """Table 1: DM LHE needs each window at md=0 (perfect) and md=60."""
+    return Sweep.grid(
+        name="table1",
+        program=programs,
+        machine="dm",
+        window=windows,
+        memory_differential=(0, memory_differential),
+        **base,
+    )
+
+
+def speedup_sweep(
+    program: str,
+    windows: tuple[int, ...] = SPEEDUP_WINDOWS,
+    differentials: tuple[int, ...] = SPEEDUP_DIFFERENTIALS,
+    **base: object,
+) -> Sweep:
+    """Figures 4-6: DM and SWSM curves plus the serial denominator.
+
+    The serial machine ignores the window, so its apparent per-window
+    points all collapse onto one cached run per differential.
+    """
+    return Sweep.grid(
+        name=f"speedup:{program}",
+        program=program,
+        machine=("serial", "dm", "swsm"),
+        window=windows,
+        memory_differential=differentials,
+        **base,
+    )
+
+
+def ewr_dm_sweep(
+    program: str,
+    dm_windows: tuple[int, ...] = EWR_WINDOWS,
+    differentials: tuple[int, ...] = EWR_DIFFERENTIALS,
+    **base: object,
+) -> Sweep:
+    """Figures 7-9, DM side: the targets the SWSM search must match.
+
+    The SWSM side is adaptive (a projection search over window sizes),
+    so it cannot be a static grid; the driver evaluates it point by
+    point through the same session cache.
+    """
+    return Sweep.grid(
+        name=f"ewr:{program}",
+        program=program,
+        machine="dm",
+        window=dm_windows,
+        memory_differential=differentials,
+        **base,
+    )
+
+
+def esw_sweep(
+    programs: tuple[str, ...] = FIGURE_PROGRAMS,
+    window: int = 32,
+    differentials: tuple[int, ...] = (0, 20, 40, 60),
+    **base: object,
+) -> Sweep:
+    """The effective-single-window study (Figure 3 made quantitative)."""
+    return Sweep.grid(
+        name="esw",
+        program=programs,
+        machine="dm",
+        window=window,
+        memory_differential=differentials,
+        probe_esw=True,
+        **base,
+    )
+
+
+def issue_split_sweep(
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    combined_width: int = 9,
+    **base: object,
+) -> Sweep:
+    """Issue-split ablation: every AU/DU division of the combined width."""
+    splits = tuple(
+        (au, combined_width - au) for au in range(1, combined_width)
+    )
+    return Sweep.grid(
+        name=f"issue-split:{program}",
+        program=program,
+        machine="dm",
+        window=window,
+        memory_differential=memory_differential,
+        zipped={("au_width", "du_width"): splits},
+        **base,
+    )
+
+
+def partition_sweep(
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    strategies: tuple[str, ...] = PARTITION_STRATEGIES,
+    **base: object,
+) -> Sweep:
+    """Partition-strategy ablation: slice vs memory-only vs balanced."""
+    return Sweep.grid(
+        name=f"partition:{program}",
+        program=program,
+        machine="dm",
+        window=window,
+        memory_differential=memory_differential,
+        partition=strategies,
+        **base,
+    )
+
+
+def bypass_sweep(
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    entry_counts: tuple[int, ...] = (0, 16, 64, 256),
+    **base: object,
+) -> Sweep:
+    """Bypass-buffer ablation; 0 entries means no bypass at all."""
+    variants = tuple(
+        MemorySpec()
+        if entries == 0
+        else MemorySpec(kind="bypass", entries=entries, line_bytes=1)
+        for entries in entry_counts
+    )
+    return Sweep.grid(
+        name=f"bypass:{program}",
+        program=program,
+        machine="dm",
+        window=window,
+        memory_differential=memory_differential,
+        memory=variants,
+        **base,
+    )
+
+
+def expansion_sweep(
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5),
+    **base: object,
+) -> Sweep:
+    """Code-expansion ablation: DM vs SWSM as overhead is added."""
+    return Sweep.grid(
+        name=f"expansion:{program}",
+        program=program,
+        machine=("dm", "swsm"),
+        window=window,
+        memory_differential=memory_differential,
+        expansion=fractions,
+        **base,
+    )
+
+
+SWEEP_PRESETS = {
+    "table1": table1_sweep,
+    "fig4": lambda **kw: speedup_sweep("flo52q", **kw),
+    "fig5": lambda **kw: speedup_sweep("mdg", **kw),
+    "fig6": lambda **kw: speedup_sweep("track", **kw),
+    "fig7": lambda **kw: ewr_dm_sweep("flo52q", **kw),
+    "fig8": lambda **kw: ewr_dm_sweep("mdg", **kw),
+    "fig9": lambda **kw: ewr_dm_sweep("track", **kw),
+    "esw": esw_sweep,
+    "speedup": speedup_sweep,
+    "ewr": ewr_dm_sweep,
+    "issue-split": issue_split_sweep,
+    "partition": partition_sweep,
+    "bypass": bypass_sweep,
+    "expansion": expansion_sweep,
+}
+
+#: Presets whose factory takes the program as first positional argument.
+PRESETS_NEEDING_PROGRAM = (
+    "speedup",
+    "ewr",
+    "issue-split",
+    "partition",
+    "bypass",
+    "expansion",
+)

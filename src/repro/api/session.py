@@ -1,0 +1,434 @@
+"""The experiment session: evaluate points and sweeps, cached and parallel.
+
+``Session`` subsumes the old ``Lab``. It keeps the same three levels of
+in-memory memoisation — architectural traces, compiled machine
+programs, simulation results — and adds two things:
+
+* a **content-addressed disk cache** (``cache_dir``): every result is
+  stored under the SHA-256 of (point, scale, latency model, cache
+  format), so a second process, a later session or a re-run of a CLI
+  command reuses earlier simulations byte-for-byte; any change to the
+  spec, the scale or the latencies changes the key and forces a fresh
+  run;
+* a **pluggable executor** (``jobs``): sweeps fan out over a
+  ``concurrent.futures`` process pool, and because every simulation is
+  deterministic and cycle-exact the results are identical to a serial
+  run — only the wall clock changes.
+
+Machines are resolved through :mod:`repro.machines.registry`, so a
+machine registered with :func:`repro.machines.register_machine`
+participates in sweeps, caching and parallelism with no changes here.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable
+
+from ..config import LatencyModel
+from ..ir import Program
+from ..ir.transforms import expand_code
+from ..kernels import build_kernel
+from ..machines import SimulationResult
+from ..machines.registry import get_machine
+from ..memory import BypassBuffer
+from .spec import Point, Sweep, point_digest
+
+__all__ = ["Session", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The evaluated points of one sweep, in sweep order."""
+
+    points: tuple[Point, ...]
+    results: tuple[SimulationResult, ...]
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.results))
+
+    def cycles(self) -> tuple[int, ...]:
+        return tuple(result.cycles for result in self.results)
+
+
+@dataclass
+class Session:
+    """Builds, compiles, simulates and caches — in memory and on disk.
+
+    Attributes:
+        scale: approximate architectural instruction count per kernel.
+        au_width / du_width / swsm_width: default issue widths used by
+            the convenience accessors (paper: 4+5=9); explicit
+            :class:`~repro.api.spec.Point` fields always win.
+        latencies: operation latency model (a fresh instance per
+            session — sessions never alias each other's state).
+        cache_dir: directory of the content-addressed result cache;
+            ``None`` disables disk caching.
+        jobs: default process-pool width for :meth:`run` (1 = serial).
+    """
+
+    scale: int = 20_000
+    au_width: int = 4
+    du_width: int = 5
+    swsm_width: int = 9
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+    cache_dir: str | Path | None = None
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        self._programs: dict[tuple[str, float], Program] = {}
+        self._custom: dict[str, Program] = {}
+        self._compiled: dict[tuple[str, float, str, str], object] = {}
+        self._results: dict[Point, SimulationResult] = {}
+        self.stats = {
+            "evaluated": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+        }
+
+    # -- programs ----------------------------------------------------------------
+
+    def program(self, name: str) -> Program:
+        """The architectural trace of a kernel at this session's scale."""
+        return self._program_for(name, 0.0)
+
+    def register_program(self, program: Program) -> None:
+        """Make a custom (non-registry) program available under its name.
+
+        Custom programs exist only in this process: points naming them
+        are evaluated locally (never shipped to workers) and stay out
+        of the disk cache, whose keys cover only registry kernels —
+        a cached entry for a same-named trace with different content
+        would otherwise be silently wrong.
+        """
+        self._custom[program.name] = program
+        self._programs.pop((program.name, 0.0), None)
+
+    def _program_for(self, name: str, expansion: float) -> Program:
+        key = (name, expansion)
+        if key not in self._programs:
+            if expansion:
+                base = self._program_for(name, 0.0)
+                self._programs[key] = expand_code(base, expansion)
+            elif name in self._custom:
+                self._programs[key] = self._custom[name]
+            else:
+                self._programs[key] = build_kernel(name, self.scale)
+        return self._programs[key]
+
+    # -- compilation -------------------------------------------------------------
+
+    def compiled(
+        self,
+        program: str,
+        machine: str = "dm",
+        partition: str = "slice",
+        expansion: float = 0.0,
+    ):
+        """The lowered machine program (cached; window-independent)."""
+        key = (program, expansion, machine, partition)
+        if key not in self._compiled:
+            model = get_machine(machine)
+            source = self._program_for(program, expansion)
+            point = Point(
+                program=program,
+                machine=machine,
+                partition=partition,
+                expansion=expansion,
+            )
+            self._compiled[key] = model.compile(source, point, self.latencies)
+        return self._compiled[key]
+
+    # -- windows -----------------------------------------------------------------
+
+    def resolve_window(self, name: str, window: int | None) -> int:
+        """Translate the unlimited-window sentinel into a concrete size."""
+        if window is not None:
+            return window
+        return max(len(self.program(name)), 1)
+
+    # -- point evaluation --------------------------------------------------------
+
+    def _canonical(self, point: Point) -> Point:
+        return get_machine(point.machine).canonical(point)
+
+    def evaluate(self, point: Point) -> SimulationResult:
+        """Cycle-exact result of one point (memory cache, disk, simulate)."""
+        canonical = self._canonical(point)
+        cached = self._lookup(canonical)
+        if cached is not None:
+            return cached
+        result = self._simulate(canonical)
+        self._store(canonical, result)
+        self.stats["evaluated"] += 1
+        return result
+
+    def cycles(self, point: Point) -> int:
+        return self.evaluate(point).cycles
+
+    def speedup(self, point: Point) -> float:
+        """Speedup over the serial reference at the same differential."""
+        serial = self.cycles(
+            replace(point, machine="serial", probe_esw=False)
+        )
+        return serial / self.cycles(point)
+
+    def _lookup(self, canonical: Point) -> SimulationResult | None:
+        if canonical in self._results:
+            self.stats["memory_hits"] += 1
+            return self._results[canonical]
+        if canonical.program in self._custom:
+            return None  # disk keys don't cover custom program content
+        loaded = self._disk_load(canonical)
+        if loaded is not None:
+            self._results[canonical] = loaded
+            return loaded
+        return None
+
+    def _store(self, canonical: Point, result: SimulationResult) -> None:
+        self._results[canonical] = result
+        if canonical.program not in self._custom:
+            self._disk_store(canonical, result)
+
+    def _simulate(self, canonical: Point) -> SimulationResult:
+        model = get_machine(canonical.machine)
+        program = self._program_for(canonical.program, canonical.expansion)
+        compiled = self.compiled(
+            canonical.program,
+            canonical.machine,
+            canonical.partition,
+            canonical.expansion,
+        )
+        window = (
+            canonical.window
+            if canonical.window is not None
+            else max(len(program), 1)
+        )
+        memory = canonical.memory.build(canonical.memory_differential)
+        result = model.simulate(
+            compiled, canonical, window, memory, self.latencies
+        )
+        if isinstance(memory, BypassBuffer):
+            result = replace(
+                result,
+                meta={
+                    **result.meta,
+                    "bypass_hits": memory.hits,
+                    "bypass_misses": memory.misses,
+                    "bypass_hit_rate": memory.hit_rate,
+                },
+            )
+        return result
+
+    # -- sweeps ------------------------------------------------------------------
+
+    def run(
+        self, sweep: Sweep | Iterable[Point], jobs: int | None = None
+    ) -> SweepResult:
+        """Evaluate every point of a sweep; optionally in parallel.
+
+        ``jobs`` overrides the session default. With ``jobs > 1``,
+        points that are not already cached are evaluated on a process
+        pool; results are bit-identical to a serial run (simulations
+        are deterministic) and are folded back into this session's
+        memory and disk caches.
+        """
+        if isinstance(sweep, Sweep):
+            points = tuple(sweep.points())
+            name = sweep.name
+        else:
+            points = tuple(sweep)
+            name = ""
+        effective_jobs = self.jobs if jobs is None else jobs
+        if effective_jobs > 1:
+            self._prefetch_parallel(points, effective_jobs)
+        results = tuple(self.evaluate(point) for point in points)
+        return SweepResult(points=points, results=results, name=name)
+
+    def _prefetch_parallel(self, points: tuple[Point, ...], jobs: int) -> None:
+        context = _fork_context()
+        pending: list[Point] = []
+        seen: set[Point] = set()
+        for point in points:
+            canonical = self._canonical(point)
+            if canonical in seen:
+                continue
+            seen.add(canonical)
+            if canonical.program in self._custom:
+                continue  # custom programs only exist in this process
+            if context is None and canonical.machine not in _BUILTIN_MACHINES:
+                # Without fork, a worker can't see machines registered
+                # at runtime; evaluate those points locally instead.
+                continue
+            if self._lookup(canonical) is None:
+                pending.append(canonical)
+        if not pending:
+            return
+        config = {
+            "scale": self.scale,
+            "au_width": self.au_width,
+            "du_width": self.du_width,
+            "swsm_width": self.swsm_width,
+            "latencies": self.latencies,
+        }
+        workers = min(jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(config,),
+        ) as pool:
+            for canonical, result in pool.map(
+                _worker_evaluate, pending, chunksize=chunksize
+            ):
+                self._store(canonical, result)
+                self.stats["evaluated"] += 1
+
+    # -- disk cache --------------------------------------------------------------
+
+    def _disk_path(self, canonical: Point) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        digest = point_digest(canonical, self.scale, self.latencies)
+        return Path(self.cache_dir) / f"{digest}.pkl"
+
+    def _disk_load(self, canonical: Point) -> SimulationResult | None:
+        path = self._disk_path(canonical)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats["disk_misses"] += 1
+            return None
+        except Exception:
+            self.stats["disk_misses"] += 1
+            return None  # corrupt entry: treat as a miss, re-simulate
+        self.stats["disk_hits"] += 1
+        return result
+
+    def _disk_store(self, canonical: Point, result: SimulationResult) -> None:
+        path = self._disk_path(canonical)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # -- convenience accessors (the old Lab vocabulary) --------------------------
+
+    def dm_point(
+        self, name: str, window: int | None, memory_differential: int, **over
+    ) -> Point:
+        return Point(
+            program=name,
+            machine="dm",
+            window=window,
+            memory_differential=memory_differential,
+            au_width=self.au_width,
+            du_width=self.du_width,
+            **over,
+        )
+
+    def swsm_point(
+        self, name: str, window: int | None, memory_differential: int, **over
+    ) -> Point:
+        return Point(
+            program=name,
+            machine="swsm",
+            window=window,
+            memory_differential=memory_differential,
+            swsm_width=self.swsm_width,
+            **over,
+        )
+
+    def serial_point(self, name: str, memory_differential: int) -> Point:
+        return Point(
+            program=name,
+            machine="serial",
+            window=None,
+            memory_differential=memory_differential,
+        )
+
+    def dm_compiled(self, name: str):
+        return self.compiled(name, "dm")
+
+    def swsm_compiled(self, name: str):
+        return self.compiled(name, "swsm")
+
+    def dm_result(
+        self, name: str, window: int | None, memory_differential: int
+    ) -> SimulationResult:
+        """Cached DM run (both unit windows set to ``window``)."""
+        return self.evaluate(self.dm_point(name, window, memory_differential))
+
+    def swsm_result(
+        self, name: str, window: int | None, memory_differential: int
+    ) -> SimulationResult:
+        """Cached SWSM run."""
+        return self.evaluate(self.swsm_point(name, window, memory_differential))
+
+    def dm_cycles(self, name: str, window: int | None, md: int) -> int:
+        return self.dm_result(name, window, md).cycles
+
+    def swsm_cycles(self, name: str, window: int | None, md: int) -> int:
+        return self.swsm_result(name, window, md).cycles
+
+    def serial_cycles(self, name: str, md: int) -> int:
+        return self.evaluate(self.serial_point(name, md)).cycles
+
+    def dm_speedup(self, name: str, window: int | None, md: int) -> float:
+        return self.serial_cycles(name, md) / self.dm_cycles(name, window, md)
+
+    def swsm_speedup(self, name: str, window: int | None, md: int) -> float:
+        return self.serial_cycles(name, md) / self.swsm_cycles(name, window, md)
+
+    def dm_lhe(self, name: str, window: int | None, md: int) -> float:
+        """Latency-hiding effectiveness of the DM at one operating point."""
+        perfect = self.dm_cycles(name, window, 0)
+        actual = self.dm_cycles(name, window, md)
+        return perfect / actual
+
+
+# -- process-pool workers ----------------------------------------------------------
+
+#: Machines registered at import time, visible in any worker process.
+_BUILTIN_MACHINES = frozenset({"dm", "swsm", "serial"})
+
+
+def _fork_context():
+    """The fork start-method context, or None where fork is unavailable.
+
+    Forked workers inherit runtime machine registrations; spawned ones
+    would not, so the caller keeps non-builtin machines local then.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+_WORKER_SESSION: Session | None = None
+
+
+def _worker_init(config: dict) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(**config)
+
+
+def _worker_evaluate(point: Point) -> tuple[Point, SimulationResult]:
+    assert _WORKER_SESSION is not None
+    return point, _WORKER_SESSION.evaluate(point)

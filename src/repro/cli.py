@@ -8,6 +8,13 @@ Examples::
     python -m repro esw
     python -m repro ablation --study bypass --program flo52q
     python -m repro kernels
+
+Generic declarative sweeps (any grid, parallel, disk-cached)::
+
+    python -m repro --jobs 4 --cache-dir .repro-cache sweep --preset fig4
+    python -m repro sweep --preset bypass --program mdg
+    python -m repro sweep --spec my_sweep.toml
+    python -m repro run --program trfd --machine swsm --window 64 --md 60
 """
 
 from __future__ import annotations
@@ -15,10 +22,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .api import (
+    PRESETS_NEEDING_PROGRAM,
+    SWEEP_PRESETS,
+    MemorySpec,
+    Point,
+    Session,
+    Sweep,
+    load_sweep,
+)
+from .errors import ReproError
 from .experiments import (
     FIGURE_PROGRAMS,
     PRESETS,
-    Lab,
     active_preset,
     render_plot,
     render_table,
@@ -31,13 +47,19 @@ from .experiments import (
     run_speedup_figure,
     run_table1,
 )
-from .kernels import PAPER_ORDER, get_kernel, list_kernels
+from .kernels import get_kernel, list_kernels
 from .partition import analyze_decoupling
 
 __all__ = ["main"]
 
 _FIGURE_BY_COMMAND = {"fig4": "flo52q", "fig5": "mdg", "fig6": "track"}
 _EWR_BY_COMMAND = {"fig7": "flo52q", "fig8": "mdg", "fig9": "track"}
+
+
+def _window_arg(text: str) -> int | None:
+    if text.lower() in ("unl", "unlimited", "none"):
+        return None
+    return int(text)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +72,19 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(PRESETS),
         default=None,
         help="fidelity preset (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate sweeps on a process pool of N workers",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk result cache (reused across runs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="LHE of the DM at md=60 (Table 1)")
@@ -70,16 +105,59 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ablation.add_argument("--program", default="flo52q")
     sub.add_parser("kernels", help="list workload models and their structure")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a declarative sweep (named preset or TOML/JSON spec)",
+    )
+    source = sweep.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--preset",
+        choices=sorted(SWEEP_PRESETS),
+        help="named sweep reproducing a paper artefact grid",
+    )
+    source.add_argument(
+        "--spec", metavar="FILE", help="sweep spec file (.toml or .json)"
+    )
+    sweep.add_argument(
+        "--program",
+        default=None,
+        help="program for presets that take one (e.g. bypass, speedup)",
+    )
+
+    run = sub.add_parser("run", help="evaluate one operating point")
+    run.add_argument("--program", required=True)
+    run.add_argument("--machine", default="dm")
+    run.add_argument(
+        "--window",
+        type=_window_arg,
+        default=32,
+        help="instruction window size, or 'unlimited'",
+    )
+    run.add_argument("--md", type=int, default=60, dest="memory_differential")
+    run.add_argument("--au-width", type=int, default=None)
+    run.add_argument("--du-width", type=int, default=None)
+    run.add_argument("--swsm-width", type=int, default=None)
+    run.add_argument("--partition", default="slice")
+    run.add_argument("--expansion", type=float, default=0.0)
+    run.add_argument(
+        "--memory", choices=("fixed", "bypass", "cache"), default="fixed"
+    )
+    run.add_argument("--entries", type=int, default=64)
+    run.add_argument("--line-bytes", type=int, default=32)
     return parser
 
 
-def _make_lab(args: argparse.Namespace):
+def _make_session(args: argparse.Namespace):
     preset = PRESETS[args.scale] if args.scale else active_preset()
-    return Lab(scale=preset.scale), preset
+    session = Session(
+        scale=preset.scale, cache_dir=args.cache_dir, jobs=args.jobs
+    )
+    return session, preset
 
 
-def _print_table1(lab: Lab, preset) -> None:
-    result = run_table1(lab)
+def _print_table1(session: Session, preset) -> None:
+    result = run_table1(session)
     headers = ["Prog"] + [
         "unl" if window is None else str(window) for window in result.windows
     ] + ["band"]
@@ -97,8 +175,10 @@ def _print_table1(lab: Lab, preset) -> None:
     print(f"bands matching the paper: {result.bands_correct}/{len(result.rows)}")
 
 
-def _print_speedup(lab: Lab, preset, program: str) -> None:
-    figure = run_speedup_figure(lab, program, windows=preset.speedup_windows)
+def _print_speedup(session: Session, preset, program: str) -> None:
+    figure = run_speedup_figure(
+        session, program, windows=preset.speedup_windows
+    )
     series = {
         f"{curve.machine} md={curve.memory_differential}": curve.speedups
         for curve in figure.curves
@@ -114,9 +194,9 @@ def _print_speedup(lab: Lab, preset, program: str) -> None:
         print(f"md={md}: SWSM overtakes the DM at window {text}")
 
 
-def _print_ewr(lab: Lab, preset, program: str) -> None:
+def _print_ewr(session: Session, preset, program: str) -> None:
     figure = run_ewr_figure(
-        lab, program,
+        session, program,
         dm_windows=preset.ewr_windows,
         differentials=preset.ewr_differentials,
     )
@@ -131,8 +211,8 @@ def _print_ewr(lab: Lab, preset, program: str) -> None:
     ))
 
 
-def _print_esw(lab: Lab) -> None:
-    rows = run_esw_study(lab, FIGURE_PROGRAMS)
+def _print_esw(session: Session) -> None:
+    rows = run_esw_study(session, FIGURE_PROGRAMS)
     print(render_table(
         ["Prog", "md", "window", "mean ESW", "peak ESW", "amplification"],
         [
@@ -144,9 +224,9 @@ def _print_esw(lab: Lab) -> None:
     ))
 
 
-def _print_ablation(lab: Lab, study: str, program: str) -> None:
+def _print_ablation(session: Session, study: str, program: str) -> None:
     if study == "issue-split":
-        points = run_issue_split_ablation(lab, program)
+        points = run_issue_split_ablation(session, program)
         print(render_table(
             ["AU", "DU", "cycles"],
             [[p.au_width, p.du_width, p.cycles] for p in points],
@@ -155,7 +235,7 @@ def _print_ablation(lab: Lab, study: str, program: str) -> None:
         best = min(points, key=lambda p: p.cycles)
         print(f"best split: AU={best.au_width} DU={best.du_width}")
     elif study == "partition":
-        points = run_partition_ablation(lab, program)
+        points = run_partition_ablation(session, program)
         print(render_table(
             ["strategy", "cycles", "AU instrs", "DU instrs"],
             [[p.strategy, p.cycles, p.au_instructions, p.du_instructions]
@@ -163,14 +243,14 @@ def _print_ablation(lab: Lab, study: str, program: str) -> None:
             title=f"Partition strategies: {program} (md=60, window=32)",
         ))
     elif study == "bypass":
-        points = run_bypass_ablation(lab, program)
+        points = run_bypass_ablation(session, program)
         print(render_table(
             ["entries", "cycles", "hit rate"],
             [[p.entries, p.cycles, p.hit_rate] for p in points],
             title=f"Bypass buffer: {program} (md=60, window=32)",
         ))
     else:
-        points = run_code_expansion_ablation(lab, program)
+        points = run_code_expansion_ablation(session, program)
         print(render_table(
             ["overhead", "DM cycles", "SWSM cycles", "SWSM/DM"],
             [[f"{p.fraction:.0%}", p.dm_cycles, p.swsm_cycles, p.dm_over_swsm]
@@ -179,11 +259,11 @@ def _print_ablation(lab: Lab, study: str, program: str) -> None:
         ))
 
 
-def _print_kernels(lab: Lab) -> None:
+def _print_kernels(session: Session) -> None:
     rows = []
     for name in list_kernels():
         spec = get_kernel(name)
-        program = lab.program(name)
+        program = session.program(name)
         report = analyze_decoupling(program)
         rows.append([
             name, len(program), f"{program.stats.memory_fraction:.2f}",
@@ -198,27 +278,114 @@ def _print_kernels(lab: Lab) -> None:
     ))
 
 
+def _build_sweep(args: argparse.Namespace) -> Sweep:
+    if args.spec:
+        return load_sweep(args.spec)
+    factory = SWEEP_PRESETS[args.preset]
+    if args.preset in PRESETS_NEEDING_PROGRAM:
+        program = args.program or "flo52q"
+        return factory(program)
+    if args.program is not None:
+        if args.preset in ("table1", "esw"):
+            return factory(programs=(args.program,))
+        raise SystemExit(
+            f"--program does not apply to preset {args.preset!r}"
+        )
+    return factory()
+
+
+def _print_sweep(session: Session, sweep: Sweep) -> None:
+    outcome = session.run(sweep)
+    rows = []
+    for point, result in outcome:
+        window = "unl" if point.window is None else point.window
+        memory = (
+            point.memory.kind
+            if point.memory.kind == "fixed"
+            else f"{point.memory.kind}({point.memory.entries})"
+        )
+        rows.append([
+            point.program, point.machine, window, point.memory_differential,
+            memory, result.cycles, result.ipc,
+        ])
+    title = f"sweep {sweep.name or '<unnamed>'}: {len(outcome)} points"
+    print(render_table(
+        ["program", "machine", "window", "md", "memory", "cycles", "ipc"],
+        rows, title=title,
+    ))
+    stats = session.stats
+    print(
+        f"cache: {stats['evaluated']} simulated, "
+        f"{stats['disk_hits']} disk hits, "
+        f"{stats['memory_hits']} memory hits"
+    )
+
+
+def _print_run(session: Session, args: argparse.Namespace) -> None:
+    point = Point(
+        program=args.program,
+        machine=args.machine,
+        window=args.window,
+        memory_differential=args.memory_differential,
+        au_width=args.au_width if args.au_width is not None
+        else session.au_width,
+        du_width=args.du_width if args.du_width is not None
+        else session.du_width,
+        swsm_width=args.swsm_width if args.swsm_width is not None
+        else session.swsm_width,
+        partition=args.partition,
+        expansion=args.expansion,
+        memory=MemorySpec(
+            kind=args.memory,
+            entries=args.entries,
+            line_bytes=args.line_bytes,
+        ),
+    )
+    result = session.evaluate(point)
+    window = "unlimited" if point.window is None else point.window
+    print(
+        f"{point.program} on {point.machine} "
+        f"(window={window}, md={point.memory_differential}, "
+        f"memory={point.memory.kind}): "
+        f"{result.cycles} cycles, ipc={result.ipc:.3f}"
+    )
+    if point.machine != "serial":
+        print(f"speedup over serial: {session.speedup(point):.3f}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    lab, preset = _make_lab(args)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    session, preset = _make_session(args)
     command = args.command
     if command == "table1":
-        _print_table1(lab, preset)
+        _print_table1(session, preset)
     elif command in _FIGURE_BY_COMMAND:
-        _print_speedup(lab, preset, _FIGURE_BY_COMMAND[command])
+        _print_speedup(session, preset, _FIGURE_BY_COMMAND[command])
     elif command in _EWR_BY_COMMAND:
-        _print_ewr(lab, preset, _EWR_BY_COMMAND[command])
+        _print_ewr(session, preset, _EWR_BY_COMMAND[command])
     elif command == "speedup":
-        _print_speedup(lab, preset, args.program)
+        _print_speedup(session, preset, args.program)
     elif command == "ewr":
-        _print_ewr(lab, preset, args.program)
+        _print_ewr(session, preset, args.program)
     elif command == "esw":
-        _print_esw(lab)
+        _print_esw(session)
     elif command == "ablation":
-        _print_ablation(lab, args.study, args.program)
+        _print_ablation(session, args.study, args.program)
     elif command == "kernels":
-        _print_kernels(lab)
+        _print_kernels(session)
+    elif command == "sweep":
+        _print_sweep(session, _build_sweep(args))
+    elif command == "run":
+        _print_run(session, args)
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {command!r}")
     return 0

@@ -11,7 +11,8 @@ The paper (Jones & Topham, MICRO-30 1997) studies two machines:
 Figure captions in the paper give the combined issue width as ``CIW=9``.
 The per-unit split is not legible in the source text; following the
 authors' companion study on restricted instruction issue we default to
-an AU width of 4 and a DU width of 5 (see DESIGN.md, substitutions).
+an AU width of 4 and a DU width of 5 (see README.md, documented
+substitutions).
 """
 
 from __future__ import annotations

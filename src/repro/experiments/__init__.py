@@ -1,5 +1,12 @@
-"""Experiment drivers: one module per paper table/figure plus ablations."""
+"""Experiment drivers: one module per paper table/figure plus ablations.
 
+Every driver is a thin wrapper that builds the matching declarative
+sweep (see :mod:`repro.api.presets`), evaluates it through a
+:class:`~repro.api.Session`, and shapes the results into the artefact's
+row/curve dataclasses. ``Lab`` is a deprecated alias of ``Session``.
+"""
+
+from ..api.session import Session, SweepResult
 from .ablations import (
     BypassPoint,
     ExpansionPoint,
@@ -44,6 +51,8 @@ __all__ = [
     "SPEEDUP_DIFFERENTIALS",
     "SPEEDUP_WINDOWS",
     "ScalePreset",
+    "Session",
+    "SweepResult",
     "SpeedupCurve",
     "SpeedupFigure",
     "TABLE1_WINDOWS",

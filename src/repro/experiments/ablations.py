@@ -1,6 +1,7 @@
-"""Ablation studies for the design choices DESIGN.md calls out.
+"""Ablation studies for the reproduction's documented design choices.
 
-Four studies, each tied to a discussion point in the paper:
+Four studies, each tied to a discussion point in the paper, each a
+declarative :class:`~repro.api.Sweep` evaluated through the session:
 
 * **issue split** — the DM's combined issue width of 9 can be divided
   between the AU and DU in eight ways; the paper adopts 4+5, citing a
@@ -18,13 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import DMConfig, SWSMConfig
-from ..ir.transforms import expand_code
-from ..machines import DecoupledMachine, SuperscalarMachine
-from ..memory import BypassBuffer, FixedLatencyMemory
-from ..partition import Unit, lower_swsm
-from ..partition.strategies import PARTITION_STRATEGIES, partition_with_strategy
-from .lab import Lab
+from ..api.presets import (
+    bypass_sweep,
+    expansion_sweep,
+    issue_split_sweep,
+    partition_sweep,
+)
+from ..api.session import Session
+from ..partition import Unit
 
 __all__ = [
     "IssueSplitPoint",
@@ -47,35 +49,25 @@ class IssueSplitPoint:
 
 
 def run_issue_split_ablation(
-    lab: Lab,
+    session: Session,
     program: str,
     window: int = 32,
     memory_differential: int = 60,
     combined_width: int = 9,
 ) -> list[IssueSplitPoint]:
     """DM cycles for every AU/DU division of the combined issue width."""
-    compiled = lab.dm_compiled(program)
-    points = []
-    for au_width in range(1, combined_width):
-        du_width = combined_width - au_width
-        machine = DecoupledMachine(
-            DMConfig.symmetric(
-                window,
-                au_width=au_width,
-                du_width=du_width,
-                latencies=lab.latencies,
-            )
+    sweep = issue_split_sweep(
+        program, window, memory_differential, combined_width
+    )
+    return [
+        IssueSplitPoint(
+            program=program,
+            au_width=point.au_width,
+            du_width=point.du_width,
+            cycles=result.cycles,
         )
-        result = machine.run(compiled, memory_differential=memory_differential)
-        points.append(
-            IssueSplitPoint(
-                program=program,
-                au_width=au_width,
-                du_width=du_width,
-                cycles=result.cycles,
-            )
-        )
-    return points
+        for point, result in session.run(sweep)
+    ]
 
 
 @dataclass(frozen=True)
@@ -88,30 +80,28 @@ class PartitionPoint:
 
 
 def run_partition_ablation(
-    lab: Lab,
+    session: Session,
     program: str,
     window: int = 32,
     memory_differential: int = 60,
 ) -> list[PartitionPoint]:
     """DM cycles under each partitioning strategy."""
-    source = lab.program(program)
-    machine = DecoupledMachine(
-        DMConfig.symmetric(
-            window,
-            au_width=lab.au_width,
-            du_width=lab.du_width,
-            latencies=lab.latencies,
-        )
+    sweep = partition_sweep(
+        program,
+        window,
+        memory_differential,
+        au_width=session.au_width,
+        du_width=session.du_width,
     )
     points = []
-    for strategy in PARTITION_STRATEGIES:
-        compiled = partition_with_strategy(source, strategy, lab.latencies)
-        result = machine.run(compiled, memory_differential=memory_differential)
-        counts = compiled.unit_counts()
+    for point, result in session.run(sweep):
+        counts = session.compiled(
+            program, "dm", partition=point.partition
+        ).unit_counts()
         points.append(
             PartitionPoint(
                 program=program,
-                strategy=strategy,
+                strategy=point.partition,
                 cycles=result.cycles,
                 au_instructions=counts[Unit.AU],
                 du_instructions=counts[Unit.DU],
@@ -129,42 +119,29 @@ class BypassPoint:
 
 
 def run_bypass_ablation(
-    lab: Lab,
+    session: Session,
     program: str,
     window: int = 32,
     memory_differential: int = 60,
     entry_counts: tuple[int, ...] = (0, 16, 64, 256),
 ) -> list[BypassPoint]:
     """DM cycles with bypass buffers of increasing size."""
-    compiled = lab.dm_compiled(program)
-    machine = DecoupledMachine(
-        DMConfig.symmetric(
-            window,
-            au_width=lab.au_width,
-            du_width=lab.du_width,
-            latencies=lab.latencies,
-        )
+    sweep = bypass_sweep(
+        program,
+        window,
+        memory_differential,
+        entry_counts,
+        au_width=session.au_width,
+        du_width=session.du_width,
     )
     points = []
-    for entries in entry_counts:
-        if entries == 0:
-            memory = FixedLatencyMemory(memory_differential)
-            result = machine.run(compiled, memory=memory)
-            hit_rate = 0.0
-        else:
-            bypass = BypassBuffer(
-                FixedLatencyMemory(memory_differential),
-                entries=entries,
-                line_bytes=1,
-            )
-            result = machine.run(compiled, memory=bypass)
-            hit_rate = bypass.hit_rate
+    for (point, result), entries in zip(session.run(sweep), entry_counts):
         points.append(
             BypassPoint(
                 program=program,
                 entries=entries,
                 cycles=result.cycles,
-                hit_rate=hit_rate,
+                hit_rate=float(result.meta.get("bypass_hit_rate", 0.0)),
             )
         )
     return points
@@ -183,41 +160,33 @@ class ExpansionPoint:
 
 
 def run_code_expansion_ablation(
-    lab: Lab,
+    session: Session,
     program: str,
     window: int = 32,
     memory_differential: int = 60,
     fractions: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5),
 ) -> list[ExpansionPoint]:
     """DM vs SWSM cycles as bookkeeping overhead is added."""
-    source = lab.program(program)
-    dm = DecoupledMachine(
-        DMConfig.symmetric(
-            window,
-            au_width=lab.au_width,
-            du_width=lab.du_width,
-            latencies=lab.latencies,
-        )
+    sweep = expansion_sweep(
+        program,
+        window,
+        memory_differential,
+        fractions,
+        au_width=session.au_width,
+        du_width=session.du_width,
+        swsm_width=session.swsm_width,
     )
-    swsm = SuperscalarMachine(
-        SWSMConfig(window=window, width=lab.swsm_width, latencies=lab.latencies)
-    )
-    points = []
-    for fraction in fractions:
-        expanded = expand_code(source, fraction)
-        dm_cycles = dm.run_program(
-            expanded, memory_differential=memory_differential
-        ).cycles
-        swsm_compiled = lower_swsm(expanded, lab.latencies)
-        swsm_cycles = swsm.run(
-            swsm_compiled, memory_differential=memory_differential
-        ).cycles
-        points.append(
-            ExpansionPoint(
-                program=program,
-                fraction=fraction,
-                dm_cycles=dm_cycles,
-                swsm_cycles=swsm_cycles,
-            )
+    outcome = session.run(sweep)
+    cycles = {
+        (point.machine, point.expansion): result.cycles
+        for point, result in outcome
+    }
+    return [
+        ExpansionPoint(
+            program=program,
+            fraction=fraction,
+            dm_cycles=cycles[("dm", fraction)],
+            swsm_cycles=cycles[("swsm", fraction)],
         )
-    return points
+        for fraction in fractions
+    ]

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import DMConfig
-from ..machines import DecoupledMachine
+from ..api.presets import esw_sweep
+from ..api.session import Session
 from ..metrics import EswStats, esw_stats
-from .lab import Lab
 
 __all__ = ["EswStudyRow", "run_esw_study"]
 
@@ -32,33 +31,30 @@ class EswStudyRow:
 
 
 def run_esw_study(
-    lab: Lab,
+    session: Session,
     programs: tuple[str, ...],
     window: int = 32,
     differentials: tuple[int, ...] = (0, 20, 40, 60),
 ) -> list[EswStudyRow]:
     """Measure ESW across programs and memory differentials."""
-    rows = []
-    for name in programs:
-        compiled = lab.dm_compiled(name)
-        machine = DecoupledMachine(
-            DMConfig.symmetric(
-                window,
-                au_width=lab.au_width,
-                du_width=lab.du_width,
-                latencies=lab.latencies,
-            )
+    sweep = esw_sweep(
+        programs,
+        window,
+        differentials,
+        au_width=session.au_width,
+        du_width=session.du_width,
+    )
+    outcome = session.run(sweep)
+    return [
+        EswStudyRow(
+            program=point.program,
+            window=window,
+            memory_differential=point.memory_differential,
+            stats=esw_stats(
+                result,
+                point.memory_differential,
+                physical_windows=2 * window,
+            ),
         )
-        for md in differentials:
-            result = machine.run(
-                compiled, memory_differential=md, probe_esw=True
-            )
-            rows.append(
-                EswStudyRow(
-                    program=name,
-                    window=window,
-                    memory_differential=md,
-                    stats=esw_stats(result, md, physical_windows=2 * window),
-                )
-            )
-    return rows
+        for point, result in outcome
+    ]

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import ewr_dm_sweep
+from ..api.session import Session
 from ..errors import ProjectionError
 from ..metrics import find_equivalent_window
-from .lab import Lab
 from .scales import EWR_DIFFERENTIALS, EWR_WINDOWS
 
 __all__ = ["EwrCurve", "EwrFigure", "run_ewr_figure"]
@@ -52,21 +53,35 @@ class EwrFigure:
 
 
 def run_ewr_figure(
-    lab: Lab,
+    session: Session,
     program: str,
     dm_windows: tuple[int, ...] = EWR_WINDOWS,
     differentials: tuple[int, ...] = EWR_DIFFERENTIALS,
     max_swsm_window: int = 4096,
 ) -> EwrFigure:
-    """Reproduce one of figures 7-9."""
+    """Reproduce one of figures 7-9.
+
+    The DM targets are a declarative sweep (evaluated up front, so they
+    parallelise); the SWSM side is an adaptive projection search and is
+    evaluated point by point through the same session cache.
+    """
+    session.run(
+        ewr_dm_sweep(
+            program,
+            dm_windows,
+            differentials,
+            au_width=session.au_width,
+            du_width=session.du_width,
+        )
+    )
     curves = []
     for md in differentials:
         def evaluate(window: int, _md: int = md) -> int:
-            return lab.swsm_cycles(program, window, _md)
+            return session.swsm_cycles(program, window, _md)
 
         ratios = []
         for dm_window in dm_windows:
-            target = lab.dm_cycles(program, dm_window, md)
+            target = session.dm_cycles(program, dm_window, md)
             try:
                 equivalent = find_equivalent_window(
                     evaluate,

@@ -1,165 +1,39 @@
-"""The experiment lab: cached program building, compilation and runs.
+"""Deprecated: the experiment lab is now :class:`repro.api.Session`.
 
-Every figure and table in the paper is a sweep over (program, machine,
-window, memory differential). The sweeps overlap heavily — the
-equivalent-window figures re-use the speedup curves, Table 1 re-uses
-the perfect-machine runs — so the lab memoises at three levels:
-architectural traces, compiled machine programs, and simulation
-results. All caches are keyed on exact parameters; nothing is ever
-approximated.
+``Lab`` was the original in-memory-only, single-process experiment
+cache. The session supersedes it — same three-level memoisation, same
+convenience accessors (``dm_cycles``, ``swsm_speedup``, ``dm_lhe``,
+...), plus a content-addressed disk cache, a process-pool executor and
+the declarative :class:`~repro.api.Sweep` interface. ``Lab`` remains as
+a thin shim so existing code keeps working; new code should construct
+:class:`~repro.api.Session` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
-from ..config import (
-    DEFAULT_LATENCIES,
-    DMConfig,
-    LatencyModel,
-    SWSMConfig,
-)
-from ..ir import Program
-from ..kernels import build_kernel
-from ..machines import (
-    DecoupledMachine,
-    SerialMachine,
-    SimulationResult,
-    SuperscalarMachine,
-)
-from ..partition import MachineProgram, lower_swsm, partition_dm
+from ..api.session import Session
+from ..api.spec import UNLIMITED
 
 __all__ = ["Lab", "UNLIMITED"]
 
-#: Sentinel window meaning "as large as the program" (paper: unlimited).
-UNLIMITED: int | None = None
-
 
 @dataclass
-class Lab:
-    """Builds, compiles, simulates and caches.
+class Lab(Session):
+    """Deprecated alias of :class:`repro.api.Session`.
 
-    Attributes:
-        scale: approximate architectural instruction count per kernel.
-        au_width / du_width / swsm_width: issue widths (paper: 4+5=9).
-        latencies: operation latency model.
+    Accepts the same constructor arguments it always did (``scale``,
+    issue widths, ``latencies``) and delegates every operation to the
+    session implementation.
     """
 
-    scale: int = 20_000
-    au_width: int = 4
-    du_width: int = 5
-    swsm_width: int = 9
-    latencies: LatencyModel = field(default=DEFAULT_LATENCIES)
-
     def __post_init__(self) -> None:
-        self._programs: dict[str, Program] = {}
-        self._dm_compiled: dict[str, MachineProgram] = {}
-        self._swsm_compiled: dict[str, MachineProgram] = {}
-        self._dm_runs: dict[tuple[str, int, int], SimulationResult] = {}
-        self._swsm_runs: dict[tuple[str, int, int], SimulationResult] = {}
-        self._serial_runs: dict[tuple[str, int], int] = {}
-        self._serial_machine = SerialMachine(self.latencies)
-
-    # -- building and compiling -------------------------------------------------
-
-    def program(self, name: str) -> Program:
-        """The architectural trace of a kernel at this lab's scale."""
-        if name not in self._programs:
-            self._programs[name] = build_kernel(name, self.scale)
-        return self._programs[name]
-
-    def register_program(self, program: Program) -> None:
-        """Make a custom (non-registry) program available under its name."""
-        self._programs[program.name] = program
-
-    def dm_compiled(self, name: str) -> MachineProgram:
-        if name not in self._dm_compiled:
-            self._dm_compiled[name] = partition_dm(
-                self.program(name), self.latencies
-            )
-        return self._dm_compiled[name]
-
-    def swsm_compiled(self, name: str) -> MachineProgram:
-        if name not in self._swsm_compiled:
-            self._swsm_compiled[name] = lower_swsm(
-                self.program(name), self.latencies
-            )
-        return self._swsm_compiled[name]
-
-    # -- window handling ---------------------------------------------------------
-
-    def resolve_window(self, name: str, window: int | None) -> int:
-        """Translate the unlimited-window sentinel into a concrete size."""
-        if window is not None:
-            return window
-        return max(len(self.program(name)), 1)
-
-    # -- simulation --------------------------------------------------------------
-
-    def dm_result(
-        self, name: str, window: int | None, memory_differential: int
-    ) -> SimulationResult:
-        """Cached DM run (both unit windows set to ``window``)."""
-        concrete = self.resolve_window(name, window)
-        key = (name, concrete, memory_differential)
-        if key not in self._dm_runs:
-            machine = DecoupledMachine(
-                DMConfig.symmetric(
-                    concrete,
-                    au_width=self.au_width,
-                    du_width=self.du_width,
-                    latencies=self.latencies,
-                )
-            )
-            self._dm_runs[key] = machine.run(
-                self.dm_compiled(name), memory_differential=memory_differential
-            )
-        return self._dm_runs[key]
-
-    def swsm_result(
-        self, name: str, window: int | None, memory_differential: int
-    ) -> SimulationResult:
-        """Cached SWSM run."""
-        concrete = self.resolve_window(name, window)
-        key = (name, concrete, memory_differential)
-        if key not in self._swsm_runs:
-            machine = SuperscalarMachine(
-                SWSMConfig(
-                    window=concrete,
-                    width=self.swsm_width,
-                    latencies=self.latencies,
-                )
-            )
-            self._swsm_runs[key] = machine.run(
-                self.swsm_compiled(name),
-                memory_differential=memory_differential,
-            )
-        return self._swsm_runs[key]
-
-    def dm_cycles(self, name: str, window: int | None, md: int) -> int:
-        return self.dm_result(name, window, md).cycles
-
-    def swsm_cycles(self, name: str, window: int | None, md: int) -> int:
-        return self.swsm_result(name, window, md).cycles
-
-    def serial_cycles(self, name: str, md: int) -> int:
-        key = (name, md)
-        if key not in self._serial_runs:
-            self._serial_runs[key] = self._serial_machine.run(
-                self.program(name), md
-            ).cycles
-        return self._serial_runs[key]
-
-    # -- derived metrics -----------------------------------------------------------
-
-    def dm_speedup(self, name: str, window: int | None, md: int) -> float:
-        return self.serial_cycles(name, md) / self.dm_cycles(name, window, md)
-
-    def swsm_speedup(self, name: str, window: int | None, md: int) -> float:
-        return self.serial_cycles(name, md) / self.swsm_cycles(name, window, md)
-
-    def dm_lhe(self, name: str, window: int | None, md: int) -> float:
-        """Latency-hiding effectiveness of the DM at one operating point."""
-        perfect = self.dm_cycles(name, window, 0)
-        actual = self.dm_cycles(name, window, md)
-        return perfect / actual
+        super().__post_init__()
+        warnings.warn(
+            "Lab is deprecated; use repro.Session (same API, plus disk "
+            "caching, parallel sweeps and declarative Sweep specs)",
+            DeprecationWarning,
+            stacklevel=3,
+        )

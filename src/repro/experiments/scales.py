@@ -16,6 +16,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..api.presets import (  # noqa: F401 - canonical home; re-exported here
+    EWR_DIFFERENTIALS,
+    EWR_WINDOWS,
+    FIGURE_PROGRAMS,
+    SPEEDUP_DIFFERENTIALS,
+    SPEEDUP_WINDOWS,
+    TABLE1_WINDOWS,
+)
 from ..errors import ConfigError
 
 __all__ = [
@@ -29,24 +37,6 @@ __all__ = [
     "EWR_DIFFERENTIALS",
     "FIGURE_PROGRAMS",
 ]
-
-#: Window axis of figures 4-6 (0-100 in the paper).
-SPEEDUP_WINDOWS = (4, 8, 12, 16, 24, 32, 48, 64, 80, 100)
-
-#: DM-window axis of figures 7-9 (10-100 in the paper).
-EWR_WINDOWS = (10, 20, 32, 48, 64, 80, 100)
-
-#: Table 1 columns; ``None`` is the paper's "unlimited" column.
-TABLE1_WINDOWS = (8, 16, 32, 64, 128, 256, None)
-
-#: Figures 4-6 plot md=0 and md=60.
-SPEEDUP_DIFFERENTIALS = (0, 60)
-
-#: Figures 7-9 sweep md=0..60 in steps of 10.
-EWR_DIFFERENTIALS = (0, 10, 20, 30, 40, 50, 60)
-
-#: The three representative programs of the figures.
-FIGURE_PROGRAMS = ("flo52q", "mdg", "track")
 
 
 @dataclass(frozen=True)

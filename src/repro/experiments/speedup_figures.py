@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .lab import Lab
+from ..api.presets import speedup_sweep
+from ..api.session import Session
 from .scales import SPEEDUP_DIFFERENTIALS, SPEEDUP_WINDOWS
 
 __all__ = ["SpeedupCurve", "SpeedupFigure", "run_speedup_figure"]
@@ -64,12 +65,22 @@ class SpeedupFigure:
 
 
 def run_speedup_figure(
-    lab: Lab,
+    session: Session,
     program: str,
     windows: tuple[int, ...] = SPEEDUP_WINDOWS,
     differentials: tuple[int, ...] = SPEEDUP_DIFFERENTIALS,
 ) -> SpeedupFigure:
-    """Reproduce one of figures 4-6."""
+    """Reproduce one of figures 4-6 as a sweep through the session."""
+    session.run(
+        speedup_sweep(
+            program,
+            windows,
+            differentials,
+            au_width=session.au_width,
+            du_width=session.du_width,
+            swsm_width=session.swsm_width,
+        )
+    )
     curves = []
     for md in differentials:
         curves.append(
@@ -78,7 +89,8 @@ def run_speedup_figure(
                 memory_differential=md,
                 windows=windows,
                 speedups=tuple(
-                    lab.dm_speedup(program, window, md) for window in windows
+                    session.dm_speedup(program, window, md)
+                    for window in windows
                 ),
             )
         )
@@ -88,7 +100,8 @@ def run_speedup_figure(
                 memory_differential=md,
                 windows=windows,
                 speedups=tuple(
-                    lab.swsm_speedup(program, window, md) for window in windows
+                    session.swsm_speedup(program, window, md)
+                    for window in windows
                 ),
             )
         )

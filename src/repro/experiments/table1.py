@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import table1_sweep
+from ..api.session import Session
 from ..config import DEFAULT_MEMORY_DIFFERENTIAL
 from ..kernels import PAPER_ORDER, get_kernel
 from ..metrics import classify_band
-from .lab import Lab
 from .scales import TABLE1_WINDOWS
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
@@ -53,16 +54,25 @@ class Table1Result:
 
 
 def run_table1(
-    lab: Lab,
+    session: Session,
     programs: tuple[str, ...] = PAPER_ORDER,
     windows: tuple[int | None, ...] = TABLE1_WINDOWS,
     memory_differential: int = DEFAULT_MEMORY_DIFFERENTIAL,
 ) -> Table1Result:
-    """Reproduce Table 1 on the given lab."""
+    """Reproduce Table 1 on the given session."""
+    session.run(
+        table1_sweep(
+            programs,
+            windows,
+            memory_differential,
+            au_width=session.au_width,
+            du_width=session.du_width,
+        )
+    )
     rows = []
     for name in programs:
         lhe_by_window = {
-            window: lab.dm_lhe(name, window, memory_differential)
+            window: session.dm_lhe(name, window, memory_differential)
             for window in windows
         }
         rows.append(

@@ -1,18 +1,29 @@
-"""Machine models: the DM, the SWSM, the serial reference, and the engine."""
+"""Machine models: the DM, the SWSM, the serial reference, the engine,
+and the registry that makes new machines pluggable."""
 
 from .dm import DecoupledMachine
 from .engine import SimulationResult, UnitStats, simulate
 from .reference import simulate_naive
+from .registry import (
+    MachineModel,
+    get_machine,
+    list_machines,
+    register_machine,
+)
 from .serial import SerialMachine, SerialResult
 from .swsm import SuperscalarMachine
 
 __all__ = [
     "DecoupledMachine",
+    "MachineModel",
     "SuperscalarMachine",
     "SerialMachine",
     "SerialResult",
     "SimulationResult",
     "UnitStats",
+    "get_machine",
+    "list_machines",
+    "register_machine",
     "simulate",
     "simulate_naive",
 ]

@@ -1,7 +1,8 @@
 """Event-driven out-of-order scheduling engine.
 
 Simulates one or more out-of-order units executing unit-tagged
-instruction streams under the timing semantics of DESIGN.md §5:
+instruction streams under the timing semantics summarised in README.md
+("Timing semantics"):
 
 * in-order dispatch into each unit's window, up to ``width`` per cycle,
   whenever a slot is free (the window therefore always holds the oldest

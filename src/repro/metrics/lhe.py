@@ -11,7 +11,7 @@ The paper's Table 1 groups the seven programs into *highly* (roughly
 0.85 and above), *moderately* (0.45-0.85) and *poorly* (below 0.45)
 effective bands at an unlimited window; the precise thresholds are not
 legible in the source text, so the boundaries here are the documented
-reproduction convention (see DESIGN.md).
+reproduction convention (see README.md, documented substitutions).
 """
 
 from __future__ import annotations

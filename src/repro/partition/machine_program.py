@@ -46,7 +46,8 @@ class MemKind(enum.Enum):
       ``mem_base + md`` cycles after issue.
     * ``PREFETCH_STORE`` — SWSM store prefetch; establishes the entry in
       one cycle (stores complete into an idealised write buffer and do
-      not wait on the memory differential — see DESIGN.md §5).
+      not wait on the memory differential — see README.md, timing
+      semantics).
     * ``ACCESS_LOAD`` — SWSM access; ready once the paired prefetch's
       datum arrived, takes one cycle.
     * ``ACCESS_STORE`` — SWSM store access; one cycle.

@@ -57,3 +57,61 @@ class TestCommands:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["--scale", "galactic", "table1"])
+
+
+class TestSweepCommand:
+    def test_preset(self, capsys):
+        assert main(["sweep", "--preset", "bypass", "--program", "trfd"]) == 0
+        out = capsys.readouterr().out
+        assert "bypass:trfd" in out
+        assert "bypass(256)" in out
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "study.toml"
+        spec.write_text(
+            'name = "cli-study"\n'
+            "[base]\n"
+            'program = "trfd"\n'
+            "window = 16\n"
+            "[axes]\n"
+            'machine = ["dm", "swsm"]\n'
+            "memory_differential = [0, 60]\n"
+        )
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-study" in out and "4 points" in out
+
+    def test_disk_cache_reused_between_invocations(self, capsys, tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "sweep", "--preset",
+                "issue-split", "--program", "trfd"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "8 simulated, 0 disk hits" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 8 disk hits" in second
+
+    def test_preset_and_spec_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--preset", "esw", "--spec", "x.toml"])
+
+
+class TestRunCommand:
+    def test_point(self, capsys):
+        assert main(["run", "--program", "trfd", "--machine", "swsm",
+                     "--window", "16", "--md", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "speedup over serial" in out
+
+    def test_unlimited_window(self, capsys):
+        assert main(["run", "--program", "trfd", "--window",
+                     "unlimited"]) == 0
+        assert "window=unlimited" in capsys.readouterr().out
+
+    def test_zero_width_rejected_not_defaulted(self, capsys):
+        assert main(["run", "--program", "trfd", "--au-width", "0"]) == 2
+        assert "au_width" in capsys.readouterr().err
+
+    def test_unknown_machine_clean_error(self, capsys):
+        assert main(["run", "--program", "trfd", "--machine", "warp"]) == 2
+        assert "unknown machine" in capsys.readouterr().err

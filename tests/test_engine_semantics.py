@@ -1,7 +1,7 @@
 """Cycle-exact semantics tests for the event-driven engine.
 
 Each test hand-builds a tiny machine program and asserts the exact
-issue times mandated by DESIGN.md §5.
+issue times mandated by the README.md timing semantics.
 """
 
 from __future__ import annotations

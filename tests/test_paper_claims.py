@@ -2,8 +2,8 @@
 
 These run at a reduced scale (8k instructions per kernel), so the
 assertions check *shapes and orderings* — who wins, in which regime —
-with margins, not absolute numbers. EXPERIMENTS.md records the
-full-scale results.
+with margins, not absolute numbers. Run the benchmarks harness for
+the full-scale record.
 """
 
 from __future__ import annotations

@@ -1,0 +1,215 @@
+"""Session tests: disk cache behaviour, parallel parity, machine registry,
+and the no-shared-state regression for latency models."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro.api import MemorySpec, Point, Session, Sweep, speedup_sweep
+from repro.config import LatencyModel
+from repro.errors import ConfigError
+from repro.experiments import Lab
+from repro.kernels import build_synthetic_stream
+from repro.machines import (
+    SimulationResult,
+    get_machine,
+    list_machines,
+    register_machine,
+)
+
+SCALE = 2_000
+
+
+@pytest.fixture()
+def point() -> Point:
+    return Point(program="trfd", machine="dm", window=16,
+                 memory_differential=60)
+
+
+class TestDiskCache:
+    def test_miss_then_hit_with_parity(self, tmp_path, point):
+        first = Session(scale=SCALE, cache_dir=tmp_path)
+        fresh = first.evaluate(point)
+        assert first.stats["evaluated"] == 1
+        assert first.stats["disk_misses"] == 1
+
+        second = Session(scale=SCALE, cache_dir=tmp_path)
+        cached = second.evaluate(point)
+        assert second.stats["evaluated"] == 0
+        assert second.stats["disk_hits"] == 1
+        # Full result parity, not just cycles.
+        assert cached == fresh
+
+    def test_scale_change_invalidates(self, tmp_path, point):
+        Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
+        other = Session(scale=2 * SCALE, cache_dir=tmp_path)
+        other.evaluate(point)
+        assert other.stats["disk_hits"] == 0
+        assert other.stats["evaluated"] == 1
+
+    def test_latency_change_invalidates(self, tmp_path, point):
+        Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
+        other = Session(
+            scale=SCALE, cache_dir=tmp_path, latencies=LatencyModel(fp_op=5)
+        )
+        other.evaluate(point)
+        assert other.stats["disk_hits"] == 0
+        assert other.stats["evaluated"] == 1
+
+    def test_spec_change_invalidates(self, tmp_path, point):
+        session = Session(scale=SCALE, cache_dir=tmp_path)
+        session.evaluate(point)
+        session.evaluate(replace(point, memory_differential=0))
+        session.evaluate(replace(point, window=32))
+        session.evaluate(replace(point, partition="memory-only"))
+        assert session.stats["disk_hits"] == 0
+        assert session.stats["evaluated"] == 4
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, point):
+        session = Session(scale=SCALE, cache_dir=tmp_path)
+        session.evaluate(point)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        recovering = Session(scale=SCALE, cache_dir=tmp_path)
+        result = recovering.evaluate(point)
+        assert recovering.stats["evaluated"] == 1
+        assert result.cycles == session.evaluate(point).cycles
+
+    def test_custom_programs_bypass_disk_cache(self, tmp_path, point):
+        """A custom trace shadowing a kernel name must never read (or
+        poison) the stock kernel's disk entry — content isn't keyed."""
+        stock = Session(scale=SCALE, cache_dir=tmp_path)
+        stock_cycles = stock.evaluate(point).cycles
+
+        shadowing = Session(scale=SCALE, cache_dir=tmp_path)
+        shadowing.register_program(build_synthetic_stream(500, name="trfd"))
+        custom_result = shadowing.evaluate(point)
+        assert shadowing.stats["evaluated"] == 1, "served from disk!"
+        assert custom_result.cycles != stock_cycles
+
+        # And the custom run must not have overwritten the stock entry.
+        again = Session(scale=SCALE, cache_dir=tmp_path)
+        assert again.evaluate(point).cycles == stock_cycles
+        assert again.stats["disk_hits"] == 1
+
+    def test_irrelevant_fields_fold_into_one_entry(self, tmp_path):
+        session = Session(scale=SCALE, cache_dir=tmp_path)
+        session.evaluate(Point(program="trfd", machine="serial", window=8))
+        session.evaluate(Point(program="trfd", machine="serial", window=99))
+        assert session.stats["evaluated"] == 1
+        assert session.stats["memory_hits"] == 1
+
+    def test_unlimited_window_shared_between_sweep_and_accessor(self):
+        session = Session(scale=SCALE)
+        sweep = Sweep.grid(program="trfd", machine="dm", window=(None,),
+                           memory_differential=60)
+        run_cycles = session.run(sweep).cycles()[0]
+        assert session.dm_cycles("trfd", None, 60) == run_cycles
+        assert session.stats["evaluated"] == 1
+
+
+class TestParallelExecutor:
+    def test_process_pool_matches_serial(self):
+        sweep = speedup_sweep("trfd", windows=(8, 16), differentials=(0, 60))
+        serial = Session(scale=SCALE).run(sweep, jobs=1)
+        parallel = Session(scale=SCALE).run(sweep, jobs=2)
+        assert serial.cycles() == parallel.cycles()
+
+    def test_custom_programs_evaluate_locally(self):
+        session = Session(scale=SCALE)
+        session.register_program(build_synthetic_stream(500, name="custom"))
+        outcome = session.run(
+            Sweep.grid(program="custom", machine="dm", window=(8, 16),
+                       memory_differential=60),
+            jobs=2,
+        )
+        assert all(result.cycles > 0 for _, result in outcome)
+
+
+class TestSweepResult:
+    def test_order_matches_sweep(self):
+        session = Session(scale=SCALE)
+        sweep = Sweep.grid(program="trfd", machine="dm", window=(8, 16),
+                           memory_differential=(0, 60))
+        outcome = session.run(sweep)
+        assert [p.window for p, _ in outcome] == [8, 8, 16, 16]
+        assert len(outcome) == 4
+        assert outcome.cycles() == tuple(r.cycles for _, r in outcome)
+
+
+class TestMachineRegistry:
+    def test_builtins_registered(self):
+        assert {"dm", "swsm", "serial"} <= set(list_machines())
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigError):
+            get_machine("warp-drive")
+        with pytest.raises(ConfigError):
+            Session(scale=SCALE).evaluate(
+                Point(program="trfd", machine="warp-drive")
+            )
+
+    def test_custom_machine_pluggable(self):
+        class PerfectMachine:
+            name = "test-perfect"
+
+            def canonical(self, point):
+                return replace(point, window=None, probe_esw=False)
+
+            def compile(self, program, point, latencies):
+                return program
+
+            def simulate(self, compiled, point, window, memory, latencies):
+                return SimulationResult(
+                    name=compiled.name,
+                    cycles=len(compiled),
+                    instructions=len(compiled),
+                    unit_stats={},
+                )
+
+        register_machine(PerfectMachine())
+        session = Session(scale=SCALE)
+        cycles = session.cycles(
+            Point(program="trfd", machine="test-perfect")
+        )
+        assert cycles == len(session.program("trfd"))
+        # Window is canonicalised away: any window hits the same entry.
+        session.cycles(Point(program="trfd", machine="test-perfect",
+                             window=123))
+        assert session.stats["evaluated"] == 1
+
+
+class TestNoSharedState:
+    """Regression: Lab used to share one LatencyModel across instances."""
+
+    def test_latency_model_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            LatencyModel().fp_op = 99  # type: ignore[misc]
+
+    def test_sessions_get_independent_latency_instances(self):
+        assert Session().latencies is not Session().latencies
+        assert Lab().latencies is not Lab().latencies
+
+    def test_registered_programs_do_not_leak_across_sessions(self):
+        a = Session(scale=SCALE)
+        b = Session(scale=SCALE)
+        custom = build_synthetic_stream(500, name="trfd")  # shadows a kernel
+        a.register_program(custom)
+        assert a.program("trfd") is custom
+        assert b.program("trfd") is not custom
+        assert len(b.program("trfd")) != len(custom)
+
+
+class TestBypassMeta:
+    def test_hit_rate_travels_with_result(self, tmp_path):
+        point = Point(
+            program="mdg", machine="dm", window=16, memory_differential=60,
+            memory=MemorySpec(kind="bypass", entries=256, line_bytes=1),
+        )
+        fresh = Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
+        assert fresh.meta["bypass_hit_rate"] > 0
+        cached = Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
+        assert cached.meta == fresh.meta

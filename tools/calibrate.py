@@ -16,7 +16,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.experiments import Lab, run_speedup_figure
+from repro.experiments import Session, run_speedup_figure
 from repro.kernels import PAPER_ORDER
 from repro.metrics import find_equivalent_window
 from repro.errors import ProjectionError
@@ -28,7 +28,7 @@ def main() -> None:
     args = sys.argv[1:]
     scale = int(args[0]) if args else 20_000
     programs = tuple(args[1:]) or PAPER_ORDER
-    lab = Lab(scale=scale)
+    lab = Session(scale=scale)
     for name in programs:
         started = time.time()
         lhe_row = [lab.dm_lhe(name, w, 60) for w in WINDOWS]
