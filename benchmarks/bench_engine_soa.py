@@ -1,0 +1,139 @@
+"""Old-vs-new engine throughput across the scale tiers.
+
+Times the struct-of-arrays engine (``repro.machines.engine``) against
+the preserved pre-SoA object engine
+(``repro.machines.engine_objects``) on FLO52Q at the ``small``,
+``paper`` and ``huge`` tiers, asserts the two produce identical
+schedules, and records every row in ``BENCH_engine.json``.
+
+Run the full three-tier comparison as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine_soa.py
+
+Under pytest only the active ``REPRO_SCALE`` tier is measured, so the
+benchmark suite stays fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+from trajectory import record_engine_rows
+
+from repro import DMConfig, DecoupledMachine, SWSMConfig, SuperscalarMachine
+from repro.config import UnitConfig
+from repro.experiments.scales import PRESETS
+from repro.kernels import build_kernel
+from repro.machines import simulate_objects
+from repro.memory import FixedLatencyMemory
+from repro.partition import Unit
+
+WINDOW = 32
+MEMORY_DIFFERENTIAL = 60
+SCALES = ("small", "paper", "huge")
+
+
+def _best_of(rounds: int, run) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_scale(scale_name: str, rounds: int = 3) -> list[dict]:
+    """Old-vs-new rows for DM and SWSM at one scale tier."""
+    program = build_kernel("flo52q", PRESETS[scale_name].scale)
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    swsm = SuperscalarMachine(SWSMConfig(window=WINDOW))
+    memory = FixedLatencyMemory(MEMORY_DIFFERENTIAL)
+    variants = (
+        (
+            "dm",
+            dm.compile(program),
+            {Unit.AU: dm.config.au, Unit.DU: dm.config.du},
+            lambda compiled: dm.run(
+                compiled, memory_differential=MEMORY_DIFFERENTIAL
+            ),
+        ),
+        (
+            "swsm",
+            swsm.compile(program),
+            {Unit.SINGLE: UnitConfig(window=WINDOW, width=swsm.config.width,
+                                     name="SWSM")},
+            lambda compiled: swsm.run(
+                compiled, memory_differential=MEMORY_DIFFERENTIAL
+            ),
+        ),
+    )
+    rows = []
+    for machine_name, compiled, configs, run_new in variants:
+        new_result = run_new(compiled)  # warm the lowering cache
+        old_result = simulate_objects(compiled, configs, memory)
+        assert new_result.cycles == old_result.cycles, (
+            f"engines disagree on {machine_name}@{scale_name}: "
+            f"{new_result.cycles} vs {old_result.cycles}"
+        )
+        instructions = compiled.num_instructions
+        new_seconds = _best_of(rounds, lambda: run_new(compiled))
+        old_seconds = _best_of(
+            max(1, rounds - 1),
+            lambda: simulate_objects(compiled, configs, memory),
+        )
+        base = {
+            "scale": scale_name,
+            "machine": machine_name,
+            "instructions": instructions,
+            "cycles": new_result.cycles,
+        }
+        rows.append({
+            **base,
+            "engine": "objects",
+            "seconds": round(old_seconds, 6),
+            "ips": round(instructions / old_seconds),
+        })
+        rows.append({
+            **base,
+            "engine": "soa",
+            "seconds": round(new_seconds, 6),
+            "ips": round(instructions / new_seconds),
+            "speedup_vs_objects": round(old_seconds / new_seconds, 2),
+        })
+    return rows
+
+
+def test_soa_engine_matches_and_records(preset):
+    """Parity plus one recorded tier (the active ``REPRO_SCALE``)."""
+    scale_name = preset.name if preset.name in PRESETS else "small"
+    rows = measure_scale(scale_name, rounds=2)
+    record_engine_rows(rows)
+    for row in rows:
+        if row["engine"] == "soa":
+            print(
+                f"\n{row['machine']}@{row['scale']}: "
+                f"{row['ips'] / 1e6:.2f}M inst/s, "
+                f"{row['speedup_vs_objects']:.1f}x over the object engine"
+            )
+
+
+def main() -> None:
+    all_rows = []
+    for scale_name in SCALES:
+        all_rows.extend(measure_scale(scale_name))
+    record_engine_rows(all_rows)
+    print(f"{'scale':8} {'machine':8} {'old ips':>12} {'new ips':>12} "
+          f"{'speedup':>8}")
+    by_key = {(r["scale"], r["machine"], r["engine"]): r for r in all_rows}
+    for scale_name in SCALES:
+        for machine_name in ("dm", "swsm"):
+            old = by_key[(scale_name, machine_name, "objects")]
+            new = by_key[(scale_name, machine_name, "soa")]
+            print(f"{scale_name:8} {machine_name:8} {old['ips']:>12,} "
+                  f"{new['ips']:>12,} {new['speedup_vs_objects']:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Benchmark-trajectory recording for the engine (``BENCH_engine.json``).
+
+The engine benchmarks append their measured instructions-per-second
+rows here so the repo carries a machine-readable perf trajectory from
+PR to PR. Rows are upserted by ``(scale, machine, engine)``: re-running
+a benchmark refreshes its numbers without touching the others.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+_HEADER = {
+    "benchmark": "engine throughput, machine instructions per second",
+    "kernel": "flo52q",
+    "window": 32,
+    "memory_differential": 60,
+    "engines": {
+        "soa": "struct-of-arrays engine (repro.machines.engine.simulate)",
+        "objects": "pre-SoA object engine "
+                   "(repro.machines.engine_objects.simulate_objects)",
+    },
+}
+
+
+def record_engine_rows(rows: list[dict], path: Path = BENCH_PATH) -> dict:
+    """Merge measurement rows into the JSON trajectory file."""
+    payload = dict(_HEADER)
+    payload["rows"] = []
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            pass
+    merged = {
+        (row["scale"], row["machine"], row["engine"]): row
+        for row in payload.get("rows", ())
+    }
+    for row in rows:
+        merged[(row["scale"], row["machine"], row["engine"])] = row
+    payload.update(_HEADER)
+    payload["updated"] = date.today().isoformat()
+    payload["rows"] = [
+        merged[key] for key in sorted(merged, key=_row_order)
+    ]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+_SCALE_ORDER = {"tiny": 0, "small": 1, "paper": 2, "huge": 3}
+
+
+def _row_order(key: tuple[str, str, str]):
+    scale, machine, engine = key
+    return (_SCALE_ORDER.get(scale, 99), scale, machine, engine)

@@ -8,7 +8,8 @@ the powers-of-two ladder below is the documented reproduction choice.
 
 The ``REPRO_SCALE`` environment variable selects a preset globally
 (``tiny`` for CI-speed checks, ``small`` for the benchmark harness,
-``paper`` for full-fidelity runs).
+``paper`` for full-fidelity runs, ``huge`` for production-scale
+engine-throughput sweeps).
 """
 
 from __future__ import annotations
@@ -66,6 +67,10 @@ PRESETS = {
         ewr_differentials=(0, 20, 40, 60),
     ),
     "paper": ScalePreset(name="paper", scale=40_000),
+    # Beyond the paper: production-scale sweeps for the SoA engine,
+    # whose steady-state accelerator makes trace length nearly free on
+    # the loop-nest kernels (see docs/timing.md).
+    "huge": ScalePreset(name="huge", scale=160_000),
 }
 
 

@@ -1,8 +1,11 @@
-"""Machine models: the DM, the SWSM, the serial reference, the engine,
-and the registry that makes new machines pluggable."""
+"""Machine models: the DM, the SWSM, the serial reference, the engine
+(struct-of-arrays core plus the preserved object-walking baseline), and
+the registry that makes new machines pluggable."""
 
 from .dm import DecoupledMachine
 from .engine import SimulationResult, UnitStats, simulate
+from .engine_objects import simulate_objects
+from .lowered import LoweredProgram, lower_program
 from .reference import simulate_naive
 from .registry import (
     MachineModel,
@@ -15,6 +18,7 @@ from .swsm import SuperscalarMachine
 
 __all__ = [
     "DecoupledMachine",
+    "LoweredProgram",
     "MachineModel",
     "SuperscalarMachine",
     "SerialMachine",
@@ -23,7 +27,9 @@ __all__ = [
     "UnitStats",
     "get_machine",
     "list_machines",
+    "lower_program",
     "register_machine",
     "simulate",
     "simulate_naive",
+    "simulate_objects",
 ]

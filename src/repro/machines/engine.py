@@ -1,30 +1,39 @@
-"""Event-driven out-of-order scheduling engine.
+"""Event-driven out-of-order scheduling engine (struct-of-arrays core).
 
 Simulates one or more out-of-order units executing unit-tagged
-instruction streams under the timing semantics summarised in README.md
-("Timing semantics"):
+instruction streams under the timing semantics specified in
+docs/timing.md: in-order dispatch into per-unit windows, oldest-first
+out-of-order issue up to ``width`` per cycle, full bypassing, and
+memory accesses that deliver ``mem_base + extra`` cycles after issue,
+where ``extra`` comes from the pluggable
+:class:`~repro.memory.MemorySystem`.
 
-* in-order dispatch into each unit's window, up to ``width`` per cycle,
-  whenever a slot is free (the window therefore always holds the oldest
-  not-yet-issued instructions of the stream);
-* out-of-order issue of up to ``width`` ready instructions per cycle,
-  oldest first; an instruction occupies its window slot only until it
-  issues (reservation-station model — the paper has no speculation and
-  hence no re-order buffer);
-* full bypassing: a producer issuing at cycle ``s`` with latency ``L``
-  makes its result available at ``s + L``;
-* memory accesses (load-issue, self-load, prefetch) deliver their datum
-  ``mem_base + extra`` cycles after issue, where ``extra`` comes from
-  the pluggable :class:`~repro.memory.MemorySystem`.
+The engine never walks per-instruction objects: programs are lowered
+once into flat parallel arrays (:mod:`repro.machines.lowered`, cached
+on the :class:`~repro.partition.machine_program.MachineProgram`), and
+the dispatch/issue loop runs over integer arrays and integer-encoded
+ready queues. Two loops share that form:
 
-The engine is event-driven — idle cycles are skipped by jumping to the
-next time any unit can dispatch or issue — but the schedule is
-cycle-exact: it is identical to a naive cycle-by-cycle simulation (a
-property the test-suite checks against a reference implementation).
+* the **fast loop** covers the common case — no probes and a memory
+  model with a uniform differential — folding the whole availability
+  rule into one precomputed per-gid latency table. On structurally
+  periodic programs (every loop-nest trace) it also detects a
+  repeating scheduler state and skips whole iterations at once; see
+  docs/timing.md, "Periodic steady state".
+* the **general loop** handles buffer/ESW probes and stateful memory
+  models (caches, bypass buffers), querying ``extra_latency`` access
+  by access in issue order.
+
+Both loops are event-driven — idle cycles are skipped — and
+cycle-exact: schedules are identical to the naive cycle-by-cycle
+reference (:mod:`repro.machines.reference`) and to the pre-SoA engine
+(:mod:`repro.machines.engine_objects`), a property the test-suite
+checks kernel by kernel.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
@@ -36,37 +45,28 @@ from ..memory import (
     OccupancyStats,
     occupancy_from_intervals,
 )
-from ..partition.machine_program import (
-    MachineProgram,
-    MemKind,
-    Unit,
-)
+from ..partition.machine_program import MachineProgram, Unit
+from .lowered import MODE_ESTABLISH, MODE_MEMORY, LoweredProgram
 
 __all__ = ["UnitStats", "SimulationResult", "simulate"]
 
 _INFINITY = float("inf")
 
-# Availability rules, precomputed per instruction for the hot loop.
-_MODE_LATENCY = 0  # avail = issue + latency
-_MODE_MEMORY = 1  # avail = issue + mem_base + memory.extra_latency(addr)
-_MODE_ESTABLISH = 2  # avail = issue + 1 (store prefetch: entry established)
+#: Skip-layer tuning: programs below this size never amortise the
+#: steady-state search, and checkpoint fingerprints are attempted at
+#: most this many times before the engine stops looking.
+_SKIP_MIN_TOTAL = 2048
+_MAX_CHECKPOINTS = 64
 
-_KIND_MODE = {
-    MemKind.NONE: _MODE_LATENCY,
-    MemKind.COPY: _MODE_LATENCY,
-    MemKind.RECEIVE: _MODE_LATENCY,
-    MemKind.STORE_ADDR: _MODE_LATENCY,
-    MemKind.STORE_DATA: _MODE_LATENCY,
-    MemKind.ACCESS_LOAD: _MODE_LATENCY,
-    MemKind.ACCESS_STORE: _MODE_LATENCY,
-    MemKind.LOAD_ISSUE: _MODE_MEMORY,
-    MemKind.SELF_LOAD: _MODE_MEMORY,
-    MemKind.PREFETCH_LOAD: _MODE_MEMORY,
-    MemKind.PREFETCH_STORE: _MODE_ESTABLISH,
-}
 
-# Kinds whose issue consumes a buffered datum delivered by srcs[0].
-_CONSUMER_KINDS = frozenset({MemKind.RECEIVE, MemKind.ACCESS_LOAD})
+def _period_skip_enabled() -> bool:
+    return os.environ.get("REPRO_PERIOD_SKIP", "1") != "0"
+
+
+#: Cumulative steady-state accelerator activity, for tests and
+#: benchmarks that want to assert the skip path was (not) taken. Not
+#: part of the public API.
+PERF_COUNTERS = {"steady_skips": 0, "skipped_instructions": 0}
 
 
 @dataclass(frozen=True)
@@ -101,42 +101,6 @@ class SimulationResult:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
-
-
-class _UnitState:
-    """Mutable scheduling state of one out-of-order unit."""
-
-    __slots__ = (
-        "unit",
-        "stream",
-        "window",
-        "width",
-        "dispatch_ptr",
-        "occupancy",
-        "ready",
-        "wakeup",
-        "oldest_unissued",
-        "issued",
-        "issue_cycles",
-        "last_issue",
-    )
-
-    def __init__(self, unit: Unit, stream, window: int, width: int) -> None:
-        self.unit = unit
-        self.stream = stream
-        self.window = window
-        self.width = width
-        self.dispatch_ptr = 0
-        self.occupancy = 0
-        self.ready: list[int] = []  # heap of gids (oldest-first priority)
-        self.wakeup: list[tuple[int, int]] = []  # heap of (ready_at, gid)
-        self.oldest_unissued = 0  # stream position, for ESW probing
-        self.issued = 0
-        self.issue_cycles = 0
-        self.last_issue = 0
-
-    def done(self) -> bool:
-        return self.occupancy == 0 and self.dispatch_ptr >= len(self.stream)
 
 
 def simulate(
@@ -175,75 +139,480 @@ def simulate(
         if unit not in unit_configs:
             raise SimulationError(f"no unit configuration for {unit.value}")
 
-    units = [
-        _UnitState(
-            unit,
-            program.stream(unit),
-            unit_configs[unit].window,
-            unit_configs[unit].width,
+    low = program.lowered()
+    uniform = memory.uniform_extra_latency()
+    if (
+        uniform is not None
+        and not probe_buffers
+        and not probe_esw
+        and low.min_latency >= 1
+    ):
+        return _simulate_fast(
+            low,
+            program,
+            unit_configs,
+            memory,
+            uniform,
+            latencies,
+            collect_issue_times,
+            max_cycles,
         )
-        for unit in program.units
-    ]
+    return _simulate_general(
+        low,
+        program,
+        unit_configs,
+        memory,
+        latencies,
+        probe_buffers,
+        probe_esw,
+        collect_issue_times,
+        max_cycles,
+    )
 
-    # Dense per-gid scheduling arrays. Gids are assigned contiguously by
-    # the lowering passes, so lists indexed by gid are exact.
-    total = program.num_instructions
-    pending = [0] * total
+
+def _result(
+    low: LoweredProgram,
+    program: MachineProgram,
+    memory: MemorySystem,
+    cycles: int,
+    unit_stats: dict[Unit, UnitStats],
+    occupancy: OccupancyStats | None,
+    esw_peak: int,
+    esw_mean: float,
+    issue_times: dict[int, int] | None,
+) -> SimulationResult:
+    return SimulationResult(
+        name=program.name,
+        cycles=cycles,
+        instructions=low.total,
+        unit_stats=unit_stats,
+        buffer_occupancy=occupancy,
+        esw_peak=esw_peak,
+        esw_mean=esw_mean,
+        issue_times=issue_times,
+        meta={"memory": memory.describe(), **program.meta},
+    )
+
+
+def _simulate_fast(
+    low: LoweredProgram,
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem,
+    uniform_extra: int,
+    latencies: LatencyModel,
+    collect_issue_times: bool,
+    max_cycles: int | None,
+) -> SimulationResult:
+    """The hot path: uniform memory differential, no probes.
+
+    The whole availability rule collapses into ``addlat`` (one add per
+    issue), heaps hold plain integers (wakeups encode ``time * total +
+    gid``, which orders by time then age), and a matured batch that
+    fits the issue width bypasses the ready heap entirely.
+    """
+    total = low.total
+    units = low.units
+    nu = len(units)
+    addlat = low.addlat_for(latencies.mem_base + uniform_extra)
+    cons = low.cons
+    unit_of = low.unit_index
+    pending = low.n_srcs.copy()
+    opmax = [0] * total
+    dispatched = bytearray(total)
+    issue_time = [-1] * total
+
+    streams = low.stream_gids
+    widths = [unit_configs[u].width for u in units]
+    windows = [unit_configs[u].window for u in units]
+    lens = [len(s) for s in streams]
+    ptrs = [0] * nu
+    occs = [0] * nu
+    readys: list[list[int]] = [[] for _ in range(nu)]
+    wakeups: list[list[int]] = [[] for _ in range(nu)]
+    issued_cnt = [0] * nu
+    icyc = [0] * nu
+    last_issue = [0] * nu
+    oldest = [0] * nu  # per-unit oldest-unissued stream position
+
+    steady = None
+    if (
+        max_cycles is None
+        and total >= _SKIP_MIN_TOTAL
+        and _period_skip_enabled()
+    ):
+        steady = low.steady()
+    if steady is not None:
+        period = steady.period
+        next_boundary = steady.start + period
+        prev_fp: tuple | None = None
+        prev_boundary = -1
+        prev_t = -1
+        prev_icyc: tuple[int, ...] = ()
+        prev_issued: tuple[int, ...] = ()
+        checkpoints = 0
+    fmax = -1  # dispatch frontier (max dispatched gid); skip layer only
+    skip_shift = 0
+    skip_dt = 0
+
+    horizon = 0
+    t = 0
+    while True:
+        all_done = True
+        any_progress = False
+        width_blocked = False
+        for u in range(nu):
+            occ = occs[u]
+            ptr = ptrs[u]
+            stream_len = lens[u]
+            if not occ and ptr >= stream_len:
+                continue
+            all_done = False
+            ready = readys[u]
+            wakeup = wakeups[u]
+            # Mature wakeups whose ready time has come.
+            limit = t * total + total - 1
+            batch: list[int] | None = None
+            while wakeup and wakeup[0] <= limit:
+                gid = heappop(wakeup) % total
+                if batch is None:
+                    batch = [gid]
+                else:
+                    batch.append(gid)
+            # Issue phase: oldest-first, up to width. When the matured
+            # batch fits the width and nothing else is waiting, issue
+            # order within the cycle is irrelevant — skip the heap.
+            budget = widths[u]
+            if batch is not None and (ready or len(batch) > budget):
+                for gid in batch:
+                    heappush(ready, gid)
+                batch = None
+            if batch is None and ready:
+                batch = []
+                while len(batch) < budget and ready:
+                    batch.append(heappop(ready))
+            if batch:
+                for gid in batch:
+                    issue_time[gid] = t
+                    avail = t + addlat[gid]
+                    if avail > horizon:
+                        horizon = avail
+                    for c in cons[gid]:
+                        remaining = pending[c] - 1
+                        pending[c] = remaining
+                        if opmax[c] < avail:
+                            opmax[c] = avail
+                        if not remaining and dispatched[c]:
+                            heappush(
+                                wakeups[unit_of[c]], opmax[c] * total + c
+                            )
+                occ -= len(batch)
+                any_progress = True
+                issued_cnt[u] += len(batch)
+                icyc[u] += 1
+                last_issue[u] = t
+            # Dispatch phase: in order, up to width, into freed slots.
+            count = widths[u]
+            room = windows[u] - occ
+            if count > room:
+                count = room
+            remaining = stream_len - ptr
+            if count > remaining:
+                count = remaining
+            if count > 0:
+                new_ptr = ptr + count
+                next_t = t + 1
+                for gid in streams[u][ptr:new_ptr]:
+                    dispatched[gid] = 1
+                    if not pending[gid]:
+                        ready_at = opmax[gid]
+                        if ready_at < next_t:
+                            ready_at = next_t
+                        heappush(wakeup, ready_at * total + gid)
+                ptr = new_ptr
+                occ += count
+                any_progress = True
+                if steady is not None:
+                    gid = streams[u][new_ptr - 1]
+                    if gid > fmax:
+                        fmax = gid
+                if count == widths[u] and ptr < stream_len and occ < windows[u]:
+                    width_blocked = True
+            ptrs[u] = ptr
+            occs[u] = occ
+
+        # Steady-state checkpoint: when the dispatch frontier crosses a
+        # period boundary, fingerprint the scheduler state relative to
+        # (boundary, t). Two consecutive boundaries with identical
+        # fingerprints prove the schedule is periodic from here on, and
+        # the remaining full periods are applied as one shift.
+        if steady is not None and fmax >= next_boundary:
+            boundary = next_boundary
+            while next_boundary <= fmax:
+                next_boundary += period
+            fp, lo, hi = _fast_fingerprint(
+                low, boundary, t, fmax, nu, streams, ptrs, lens, occs,
+                readys, wakeups, oldest, pending, opmax, dispatched,
+                issue_time, steady.dep_span,
+            )
+            matched = (
+                fp is not None
+                and fp == prev_fp
+                and boundary - prev_boundary == period
+                and t > prev_t
+                and lo >= steady.start
+                and all(
+                    issued_cnt[u] - prev_issued[u] == steady.unit_counts[u]
+                    for u in range(nu)
+                )
+            )
+            if matched:
+                dt = t - prev_t
+                margin = 2 * period + steady.dep_span + 8
+                k = (total - 1 - fmax - margin) // period
+                if k >= 1:
+                    d_gid = k * period
+                    d_t = k * dt
+                    shift = d_t * total + d_gid
+                    for u in range(nu):
+                        wakeups[u] = [e + shift for e in wakeups[u]]
+                        readys[u] = [g + d_gid for g in readys[u]]
+                        advance = k * steady.unit_counts[u]
+                        ptrs[u] += advance
+                        oldest[u] += advance
+                        issued_cnt[u] += k * steady.unit_counts[u]
+                        icyc[u] += k * (icyc[u] - prev_icyc[u])
+                    for g in range(hi, lo - 1, -1):
+                        g2 = g + d_gid
+                        pending[g2] = pending[g]
+                        o = opmax[g]
+                        opmax[g2] = o + d_t if o else 0
+                        dispatched[g2] = dispatched[g]
+                    t += d_t
+                    fmax += d_gid
+                    skip_shift = period
+                    skip_dt = dt
+                    PERF_COUNTERS["steady_skips"] += 1
+                    PERF_COUNTERS["skipped_instructions"] += d_gid
+                steady = None
+            else:
+                prev_fp = fp
+                prev_boundary = boundary
+                prev_t = t
+                prev_icyc = tuple(icyc)
+                prev_issued = tuple(issued_cnt)
+                checkpoints += 1
+                if checkpoints >= _MAX_CHECKPOINTS:
+                    steady = None
+
+        if all_done:
+            break
+        # Earliest future activity across all units.
+        next_time = _INFINITY
+        for u in range(nu):
+            if not occs[u] and ptrs[u] >= lens[u]:
+                continue
+            if readys[u]:
+                next_time = t + 1
+                break
+            wakeup = wakeups[u]
+            if wakeup:
+                candidate = wakeup[0] // total
+                if candidate < next_time:
+                    next_time = candidate
+        if width_blocked and next_time > t + 1:
+            next_time = t + 1
+        if next_time is _INFINITY:
+            if any_progress:
+                # Progress happened this cycle but nothing is
+                # scheduled: re-scan next cycle (only reachable through
+                # dispatch races).
+                t += 1
+                continue
+            outstanding = sum(
+                lens[u] - ptrs[u] + occs[u] for u in range(nu)
+            )
+            raise SimulationDeadlockError(
+                f"no unit can make progress at cycle {t} with "
+                f"{outstanding} instructions outstanding"
+            )
+        if max_cycles is not None and next_time > max_cycles:
+            raise SimulationError(
+                f"simulation exceeded max_cycles={max_cycles}"
+            )
+        t = int(next_time)
+
+    if skip_shift:
+        # Fill in the issue times of the skipped iterations. Every
+        # instruction still unissued at the matched checkpoint issues
+        # exactly one period's cycles after its one-period-earlier
+        # counterpart, so an ascending sweep telescopes through the
+        # whole skipped range (the counterpart is always either
+        # simulated or already filled).
+        d_gid = skip_shift
+        d_t = skip_dt
+        for g in range(total):
+            if issue_time[g] < 0:
+                issue_time[g] = issue_time[g - d_gid] + d_t
+
+    unit_stats = {
+        units[u]: UnitStats(
+            unit=units[u],
+            instructions=issued_cnt[u],
+            last_issue=last_issue[u],
+            issue_cycles=icyc[u],
+        )
+        for u in range(nu)
+    }
+    issue_times = None
+    if collect_issue_times:
+        issue_times = {gid: issue_time[gid] for gid in range(total)}
+    return _result(
+        low, program, memory, horizon, unit_stats, None, 0, 0.0, issue_times
+    )
+
+
+def _fast_fingerprint(
+    low, boundary, t, fmax, nu, streams, ptrs, lens, occs, readys, wakeups,
+    oldest, pending, opmax, dispatched, issue_time, dep_span,
+):
+    """Canonical scheduler state relative to (boundary, t).
+
+    Covers everything the future evolution can read: per-unit stream
+    positions, occupancies and queues, plus the pending/opmax/window
+    flags of every gid between the oldest live instruction and the
+    dispatch frontier plus the dependence span. Equality of two
+    fingerprints one period apart implies the evolutions are identical
+    up to the (gid, time) shift.
+    """
+    total = low.total
+    lo = total
+    for u in range(nu):
+        position = oldest[u]
+        gids = streams[u]
+        limit = ptrs[u]
+        while position < limit and issue_time[gids[position]] >= 0:
+            position += 1
+        oldest[u] = position
+        if position < limit and gids[position] < lo:
+            lo = gids[position]
+        if limit < lens[u] and gids[limit] < lo:
+            lo = gids[limit]
+    if lo == total:
+        return None, lo, lo - 1
+    hi = fmax + dep_span
+    if hi >= total:
+        return None, lo, hi
+    base = t * total + boundary
+    unit_part = []
+    for u in range(nu):
+        next_gid = (
+            streams[u][ptrs[u]] - boundary if ptrs[u] < lens[u] else -total
+        )
+        unit_part.append((
+            next_gid,
+            occs[u],
+            tuple(sorted(e - base for e in wakeups[u])),
+            tuple(sorted(g - boundary for g in readys[u])),
+        ))
+    region = []
+    for g in range(lo, hi + 1):
+        o = opmax[g]
+        region.append((
+            pending[g],
+            o - t if o else None,
+            1 if dispatched[g] and issue_time[g] < 0 else 0,
+        ))
+    return (lo - boundary, tuple(unit_part), tuple(region)), lo, hi
+
+
+class _UState:
+    """Mutable scheduling state of one unit (general loop only)."""
+
+    __slots__ = (
+        "unit", "gids", "window", "width", "ptr", "occ",
+        "ready", "wakeup", "oldest", "issued", "icyc", "last",
+    )
+
+    def __init__(self, unit, gids, window, width):
+        self.unit = unit
+        self.gids = gids
+        self.window = window
+        self.width = width
+        self.ptr = 0
+        self.occ = 0
+        self.ready: list[int] = []  # heap of gids (oldest first)
+        self.wakeup: list[tuple[int, int]] = []  # heap of (ready_at, gid)
+        self.oldest = 0  # stream position, for ESW probing
+        self.issued = 0
+        self.icyc = 0
+        self.last = 0
+
+    def done(self) -> bool:
+        return self.occ == 0 and self.ptr >= len(self.gids)
+
+
+def _simulate_general(
+    low: LoweredProgram,
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem,
+    latencies: LatencyModel,
+    probe_buffers: bool,
+    probe_esw: bool,
+    collect_issue_times: bool,
+    max_cycles: int | None,
+) -> SimulationResult:
+    """The probing path: buffer/ESW probes and stateful memory models.
+
+    Still array-driven, but queries ``memory.extra_latency`` access by
+    access (stateful models must see issue order) and keeps
+    dispatch-time floors so zero-latency instructions stay exact.
+    """
+    total = low.total
+    mode_arr = low.mode
+    lat_arr = low.lat
+    addr_arr = low.addr
+    cons = low.cons
+    pending = low.n_srcs.copy()
     opmax = [0] * total
     dispatched = bytearray(total)
     issued_flag = bytearray(total)
-    issue_time = [0] * total if collect_issue_times or probe_esw else None
-    avail_arr = [0] * total
-    mode_arr = [0] * total
-    lat_arr = [0] * total
-    addr_arr: list[int] = [0] * total
-    consumers: list[list[int]] = [[] for _ in range(total)]
-    unit_of: list[_UnitState] = [units[0]] * total
     dispatch_time = [0] * total
+    avail_arr = [0] * total
+    issue_time = [0] * total if collect_issue_times or probe_esw else None
 
-    by_unit = {state.unit: state for state in units}
-    for state in units:
-        for inst in state.stream:
-            gid = inst.gid
-            if gid >= total:
-                raise SimulationError(
-                    f"gid {gid} out of range; lowering must assign contiguous gids"
-                )
-            pending[gid] = len(inst.srcs)
-            mode_arr[gid] = _KIND_MODE[inst.mem_kind]
-            lat_arr[gid] = inst.latency
-            addr_arr[gid] = inst.addr if inst.addr is not None else 0
-            unit_of[gid] = by_unit[inst.unit]
-            for dep in inst.srcs:
-                consumers[dep].append(gid)
+    states = [
+        _UState(
+            unit,
+            low.stream_gids[ui],
+            unit_configs[unit].window,
+            unit_configs[unit].width,
+        )
+        for ui, unit in enumerate(low.units)
+    ]
+    state_of = [states[ui] for ui in low.unit_index] if total else []
 
     mem_base = latencies.mem_base
     extra_latency = memory.extra_latency
 
     # Buffer residency probe: arrival time of each delivering gid, and
     # (arrival, consume) intervals closed when the consumer issues.
-    # ``pair_arr[gid]`` is the delivering load-issue/prefetch of a
-    # receive/access (always srcs[0] by lowering convention).
     arrivals: dict[int, int] = {}
     intervals: list[tuple[int, int]] = []
-    pair_arr = [-1] * total
-    delivers = bytearray(total)
-    if probe_buffers:
-        for state in units:
-            for inst in state.stream:
-                if inst.mem_kind in _CONSUMER_KINDS:
-                    if not inst.srcs:
-                        raise SimulationError(
-                            f"{inst.mem_kind.value} gid={inst.gid} has no "
-                            "paired memory operation"
-                        )
-                    pair_arr[inst.gid] = inst.srcs[0]
-                if inst.mem_kind in (MemKind.LOAD_ISSUE, MemKind.PREFETCH_LOAD):
-                    delivers[inst.gid] = 1
+    pair_arr = low.pair
+    delivers = low.delivers
+    if probe_buffers and low.pair_missing:
+        gid, kind = low.pair_missing[0]
+        raise SimulationError(
+            f"{kind} gid={gid} has no paired memory operation"
+        )
 
+    by_unit = {state.unit: state for state in states}
     esw_enabled = probe_esw and Unit.AU in by_unit and Unit.DU in by_unit
     au_state = by_unit.get(Unit.AU)
     du_state = by_unit.get(Unit.DU)
+    orig_index = low.orig_index
     esw_peak = 0
     esw_weighted = 0
     esw_cycles = 0
@@ -252,17 +621,15 @@ def simulate(
     while True:
         all_done = True
         any_progress = False
-        width_blocked: list[_UnitState] = []
-        for state in units:
+        width_blocked = False
+        for state in states:
             if state.done():
                 continue
             all_done = False
             ready = state.ready
             wakeup = state.wakeup
-            # Mature wakeups whose ready time has come.
             while wakeup and wakeup[0][0] <= time:
                 heappush(ready, heappop(wakeup)[1])
-            # Issue phase: oldest-first, up to width.
             budget = state.width
             issued_this_cycle = 0
             while budget and ready:
@@ -273,21 +640,23 @@ def simulate(
                 if issue_time is not None:
                     issue_time[gid] = time
                 mode = mode_arr[gid]
-                if mode == _MODE_LATENCY:
-                    avail = time + lat_arr[gid]
-                elif mode == _MODE_MEMORY:
-                    avail = time + mem_base + extra_latency(addr_arr[gid], time)
+                if mode == MODE_MEMORY:
+                    avail = time + mem_base + extra_latency(
+                        addr_arr[gid], time
+                    )
                     if probe_buffers and delivers[gid]:
                         arrivals[gid] = avail
-                else:  # _MODE_ESTABLISH
+                elif mode == MODE_ESTABLISH:
                     avail = time + 1
+                else:
+                    avail = time + lat_arr[gid]
                 avail_arr[gid] = avail
-                state.occupancy -= 1
+                state.occ -= 1
                 if probe_buffers and pair_arr[gid] >= 0:
                     arrival = arrivals.pop(pair_arr[gid], None)
                     if arrival is not None:
                         intervals.append((arrival, time))
-                for consumer in consumers[gid]:
+                for consumer in cons[gid]:
                     remaining = pending[consumer] - 1
                     pending[consumer] = remaining
                     if opmax[consumer] < avail:
@@ -297,27 +666,27 @@ def simulate(
                         floor = dispatch_time[consumer] + 1
                         if ready_at < floor:
                             ready_at = floor
-                        heappush(unit_of[consumer].wakeup, (ready_at, consumer))
+                        heappush(
+                            state_of[consumer].wakeup, (ready_at, consumer)
+                        )
             if issued_this_cycle:
                 any_progress = True
                 state.issued += issued_this_cycle
-                state.issue_cycles += 1
-                state.last_issue = time
-            # Dispatch phase: in order, up to width, into freed slots.
+                state.icyc += 1
+                state.last = time
             dispatch_budget = state.width
-            stream = state.stream
-            stream_len = len(stream)
+            gids = state.gids
+            stream_len = len(gids)
             while (
                 dispatch_budget
-                and state.occupancy < state.window
-                and state.dispatch_ptr < stream_len
+                and state.occ < state.window
+                and state.ptr < stream_len
             ):
-                inst = stream[state.dispatch_ptr]
-                gid = inst.gid
+                gid = gids[state.ptr]
                 dispatched[gid] = 1
                 dispatch_time[gid] = time
-                state.occupancy += 1
-                state.dispatch_ptr += 1
+                state.occ += 1
+                state.ptr += 1
                 dispatch_budget -= 1
                 any_progress = True
                 if pending[gid] == 0:
@@ -326,33 +695,32 @@ def simulate(
                         ready_at = time + 1
                     heappush(wakeup, (ready_at, gid))
             if (
-                state.dispatch_ptr < stream_len
-                and state.occupancy < state.window
+                state.ptr < stream_len
+                and state.occ < state.window
                 and dispatch_budget == 0
             ):
-                width_blocked.append(state)
+                width_blocked = True
 
-        # Earliest future activity across all units. Computed *after*
-        # every unit has processed this cycle, because a later unit's
-        # issues may have pushed wakeups into an earlier unit's heap.
         next_time = _INFINITY
-        for state in units:
+        for state in states:
             if state.done():
                 continue
-            candidate = _INFINITY
             if state.ready:
                 candidate = time + 1
             elif state.wakeup:
                 candidate = state.wakeup[0][0]
-            next_time = min(next_time, candidate)
-        if width_blocked:
-            next_time = min(next_time, time + 1)
+            else:
+                candidate = _INFINITY
+            if candidate < next_time:
+                next_time = candidate
+        if width_blocked and next_time > time + 1:
+            next_time = time + 1
 
         if esw_enabled and au_state is not None and du_state is not None:
-            sample = _esw_sample(au_state, du_state, issued_flag)
+            sample = _esw_sample(au_state, du_state, issued_flag, orig_index)
             if sample is not None:
-                # The scheduling state is static until next_time, so the
-                # sample holds for the whole skipped interval.
+                # The scheduling state is static until next_time, so
+                # the sample holds for the whole skipped interval.
                 if next_time is _INFINITY:
                     duration = 1
                 else:
@@ -366,15 +734,14 @@ def simulate(
             break
         if next_time is _INFINITY:
             if any_progress:
-                # Progress happened this cycle but nothing is scheduled:
-                # re-scan next cycle (cross-unit wakeups land in heaps,
-                # so this is only reachable through dispatch races).
                 time += 1
                 continue
+            outstanding = sum(
+                len(s.gids) - s.ptr + s.occ for s in states
+            )
             raise SimulationDeadlockError(
                 f"no unit can make progress at cycle {time} with "
-                f"{sum(len(s.stream) - s.dispatch_ptr + s.occupancy for s in units)}"
-                " instructions outstanding"
+                f"{outstanding} instructions outstanding"
             )
         if max_cycles is not None and next_time > max_cycles:
             raise SimulationError(
@@ -387,46 +754,45 @@ def simulate(
         state.unit: UnitStats(
             unit=state.unit,
             instructions=state.issued,
-            last_issue=state.last_issue,
-            issue_cycles=state.issue_cycles,
+            last_issue=state.last,
+            issue_cycles=state.icyc,
         )
-        for state in units
+        for state in states
     }
     occupancy = occupancy_from_intervals(intervals) if probe_buffers else None
     issue_times = None
     if collect_issue_times and issue_time is not None:
         issue_times = {gid: issue_time[gid] for gid in range(total)}
-    return SimulationResult(
-        name=program.name,
-        cycles=cycles,
-        instructions=total,
-        unit_stats=unit_stats,
-        buffer_occupancy=occupancy,
-        esw_peak=esw_peak,
-        esw_mean=esw_weighted / esw_cycles if esw_cycles else 0.0,
-        issue_times=issue_times,
-        meta={"memory": memory.describe(), **program.meta},
+    return _result(
+        low,
+        program,
+        memory,
+        cycles,
+        unit_stats,
+        occupancy,
+        esw_peak,
+        esw_weighted / esw_cycles if esw_cycles else 0.0,
+        issue_times,
     )
 
 
-def _esw_sample(
-    au_state: _UnitState, du_state: _UnitState, issued_flag: bytearray
-) -> int | None:
-    """Effective-single-window sample (paper §3).
+def _esw_sample(au_state, du_state, issued_flag, orig_index):
+    """Effective-single-window sample (paper section 3).
 
     The minimum single window that would hold everything from the
     oldest not-yet-issued DU instruction to the youngest dispatched AU
     instruction, measured in architectural instructions.
     """
-    du_stream = du_state.stream
-    position = du_state.oldest_unissued
-    while position < len(du_stream) and issued_flag[du_stream[position].gid]:
+    du_gids = du_state.gids
+    position = du_state.oldest
+    du_len = len(du_gids)
+    while position < du_len and issued_flag[du_gids[position]]:
         position += 1
-    du_state.oldest_unissued = position
-    if position >= len(du_stream) or au_state.dispatch_ptr == 0:
+    du_state.oldest = position
+    if position >= du_len or au_state.ptr == 0:
         return None
-    youngest_au = au_state.stream[au_state.dispatch_ptr - 1].orig_index
-    oldest_du = du_stream[position].orig_index
+    youngest_au = orig_index[au_state.gids[au_state.ptr - 1]]
+    oldest_du = orig_index[du_gids[position]]
     if youngest_au < oldest_du:
         return None
     return youngest_au - oldest_du + 1

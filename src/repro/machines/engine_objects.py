@@ -1,0 +1,394 @@
+"""The pre-SoA object-walking engine, preserved for comparison.
+
+This is the engine as it stood before the struct-of-arrays rewrite
+(:mod:`repro.machines.engine`): it re-derives its scheduling arrays
+from the per-instruction dataclasses on every call and drives issue
+through tuple heaps. It is kept verbatim for two jobs:
+
+* **benchmarking** — ``benchmarks/bench_engine_soa.py`` times it
+  against the SoA engine at every scale tier and records the ratio in
+  ``BENCH_engine.json``;
+* **differential testing** — it is a second, independent
+  implementation of the docs/timing.md semantics, much faster than the
+  naive cycle-by-cycle reference (:mod:`repro.machines.reference`), so
+  the parity suite can compare whole kernels at the ``small`` and
+  ``paper`` scales.
+
+Do not use it for new work; ``simulate`` in
+:mod:`repro.machines.engine` is the supported entry point.
+"""
+
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
+from ..errors import SimulationDeadlockError, SimulationError
+from ..memory import (
+    FixedLatencyMemory,
+    MemorySystem,
+    occupancy_from_intervals,
+)
+from ..partition.machine_program import (
+    MachineProgram,
+    MemKind,
+    Unit,
+)
+
+from .engine import SimulationResult, UnitStats
+
+__all__ = ["simulate_objects"]
+
+_INFINITY = float("inf")
+
+# Availability rules, precomputed per instruction for the hot loop.
+_MODE_LATENCY = 0  # avail = issue + latency
+_MODE_MEMORY = 1  # avail = issue + mem_base + memory.extra_latency(addr)
+_MODE_ESTABLISH = 2  # avail = issue + 1 (store prefetch: entry established)
+
+_KIND_MODE = {
+    MemKind.NONE: _MODE_LATENCY,
+    MemKind.COPY: _MODE_LATENCY,
+    MemKind.RECEIVE: _MODE_LATENCY,
+    MemKind.STORE_ADDR: _MODE_LATENCY,
+    MemKind.STORE_DATA: _MODE_LATENCY,
+    MemKind.ACCESS_LOAD: _MODE_LATENCY,
+    MemKind.ACCESS_STORE: _MODE_LATENCY,
+    MemKind.LOAD_ISSUE: _MODE_MEMORY,
+    MemKind.SELF_LOAD: _MODE_MEMORY,
+    MemKind.PREFETCH_LOAD: _MODE_MEMORY,
+    MemKind.PREFETCH_STORE: _MODE_ESTABLISH,
+}
+
+# Kinds whose issue consumes a buffered datum delivered by srcs[0].
+_CONSUMER_KINDS = frozenset({MemKind.RECEIVE, MemKind.ACCESS_LOAD})
+
+
+class _UnitState:
+    """Mutable scheduling state of one out-of-order unit."""
+
+    __slots__ = (
+        "unit",
+        "stream",
+        "window",
+        "width",
+        "dispatch_ptr",
+        "occupancy",
+        "ready",
+        "wakeup",
+        "oldest_unissued",
+        "issued",
+        "issue_cycles",
+        "last_issue",
+    )
+
+    def __init__(self, unit: Unit, stream, window: int, width: int) -> None:
+        self.unit = unit
+        self.stream = stream
+        self.window = window
+        self.width = width
+        self.dispatch_ptr = 0
+        self.occupancy = 0
+        self.ready: list[int] = []  # heap of gids (oldest-first priority)
+        self.wakeup: list[tuple[int, int]] = []  # heap of (ready_at, gid)
+        self.oldest_unissued = 0  # stream position, for ESW probing
+        self.issued = 0
+        self.issue_cycles = 0
+        self.last_issue = 0
+
+    def done(self) -> bool:
+        return self.occupancy == 0 and self.dispatch_ptr >= len(self.stream)
+
+
+def simulate_objects(
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem | None = None,
+    latencies: LatencyModel = DEFAULT_LATENCIES,
+    probe_buffers: bool = False,
+    probe_esw: bool = False,
+    collect_issue_times: bool = False,
+    max_cycles: int | None = None,
+) -> SimulationResult:
+    """Run a machine program to completion and return timing results.
+
+    Args:
+        program: lowered machine program (one stream per unit).
+        unit_configs: window/width per unit; must cover every stream.
+        memory: memory-system model; defaults to a zero-differential
+            fixed model.
+        latencies: operation latencies (only ``mem_base`` is read here;
+            per-instruction latencies were baked in during lowering).
+        probe_buffers: record decoupled-memory / prefetch-buffer
+            residency intervals and report occupancy statistics.
+        probe_esw: track the effective single window (only meaningful
+            for two-unit programs with AU and DU streams).
+        collect_issue_times: return the issue time of every gid (for
+            tests and debugging; costs memory).
+        max_cycles: abort with :class:`SimulationError` if the clock
+            passes this bound (guards against configuration mistakes).
+    """
+    if memory is None:
+        memory = FixedLatencyMemory(0)
+    memory.reset()
+
+    for unit in program.units:
+        if unit not in unit_configs:
+            raise SimulationError(f"no unit configuration for {unit.value}")
+
+    units = [
+        _UnitState(
+            unit,
+            program.stream(unit),
+            unit_configs[unit].window,
+            unit_configs[unit].width,
+        )
+        for unit in program.units
+    ]
+
+    # Dense per-gid scheduling arrays. Gids are assigned contiguously by
+    # the lowering passes, so lists indexed by gid are exact.
+    total = program.num_instructions
+    pending = [0] * total
+    opmax = [0] * total
+    dispatched = bytearray(total)
+    issued_flag = bytearray(total)
+    issue_time = [0] * total if collect_issue_times or probe_esw else None
+    avail_arr = [0] * total
+    mode_arr = [0] * total
+    lat_arr = [0] * total
+    addr_arr: list[int] = [0] * total
+    consumers: list[list[int]] = [[] for _ in range(total)]
+    unit_of: list[_UnitState] = [units[0]] * total
+    dispatch_time = [0] * total
+
+    by_unit = {state.unit: state for state in units}
+    for state in units:
+        for inst in state.stream:
+            gid = inst.gid
+            if gid >= total:
+                raise SimulationError(
+                    f"gid {gid} out of range; lowering must assign contiguous gids"
+                )
+            pending[gid] = len(inst.srcs)
+            mode_arr[gid] = _KIND_MODE[inst.mem_kind]
+            lat_arr[gid] = inst.latency
+            addr_arr[gid] = inst.addr if inst.addr is not None else 0
+            unit_of[gid] = by_unit[inst.unit]
+            for dep in inst.srcs:
+                consumers[dep].append(gid)
+
+    mem_base = latencies.mem_base
+    extra_latency = memory.extra_latency
+
+    # Buffer residency probe: arrival time of each delivering gid, and
+    # (arrival, consume) intervals closed when the consumer issues.
+    # ``pair_arr[gid]`` is the delivering load-issue/prefetch of a
+    # receive/access (always srcs[0] by lowering convention).
+    arrivals: dict[int, int] = {}
+    intervals: list[tuple[int, int]] = []
+    pair_arr = [-1] * total
+    delivers = bytearray(total)
+    if probe_buffers:
+        for state in units:
+            for inst in state.stream:
+                if inst.mem_kind in _CONSUMER_KINDS:
+                    if not inst.srcs:
+                        raise SimulationError(
+                            f"{inst.mem_kind.value} gid={inst.gid} has no "
+                            "paired memory operation"
+                        )
+                    pair_arr[inst.gid] = inst.srcs[0]
+                if inst.mem_kind in (MemKind.LOAD_ISSUE, MemKind.PREFETCH_LOAD):
+                    delivers[inst.gid] = 1
+
+    esw_enabled = probe_esw and Unit.AU in by_unit and Unit.DU in by_unit
+    au_state = by_unit.get(Unit.AU)
+    du_state = by_unit.get(Unit.DU)
+    esw_peak = 0
+    esw_weighted = 0
+    esw_cycles = 0
+
+    time = 0
+    while True:
+        all_done = True
+        any_progress = False
+        width_blocked: list[_UnitState] = []
+        for state in units:
+            if state.done():
+                continue
+            all_done = False
+            ready = state.ready
+            wakeup = state.wakeup
+            # Mature wakeups whose ready time has come.
+            while wakeup and wakeup[0][0] <= time:
+                heappush(ready, heappop(wakeup)[1])
+            # Issue phase: oldest-first, up to width.
+            budget = state.width
+            issued_this_cycle = 0
+            while budget and ready:
+                gid = heappop(ready)
+                budget -= 1
+                issued_this_cycle += 1
+                issued_flag[gid] = 1
+                if issue_time is not None:
+                    issue_time[gid] = time
+                mode = mode_arr[gid]
+                if mode == _MODE_LATENCY:
+                    avail = time + lat_arr[gid]
+                elif mode == _MODE_MEMORY:
+                    avail = time + mem_base + extra_latency(addr_arr[gid], time)
+                    if probe_buffers and delivers[gid]:
+                        arrivals[gid] = avail
+                else:  # _MODE_ESTABLISH
+                    avail = time + 1
+                avail_arr[gid] = avail
+                state.occupancy -= 1
+                if probe_buffers and pair_arr[gid] >= 0:
+                    arrival = arrivals.pop(pair_arr[gid], None)
+                    if arrival is not None:
+                        intervals.append((arrival, time))
+                for consumer in consumers[gid]:
+                    remaining = pending[consumer] - 1
+                    pending[consumer] = remaining
+                    if opmax[consumer] < avail:
+                        opmax[consumer] = avail
+                    if remaining == 0 and dispatched[consumer]:
+                        ready_at = opmax[consumer]
+                        floor = dispatch_time[consumer] + 1
+                        if ready_at < floor:
+                            ready_at = floor
+                        heappush(unit_of[consumer].wakeup, (ready_at, consumer))
+            if issued_this_cycle:
+                any_progress = True
+                state.issued += issued_this_cycle
+                state.issue_cycles += 1
+                state.last_issue = time
+            # Dispatch phase: in order, up to width, into freed slots.
+            dispatch_budget = state.width
+            stream = state.stream
+            stream_len = len(stream)
+            while (
+                dispatch_budget
+                and state.occupancy < state.window
+                and state.dispatch_ptr < stream_len
+            ):
+                inst = stream[state.dispatch_ptr]
+                gid = inst.gid
+                dispatched[gid] = 1
+                dispatch_time[gid] = time
+                state.occupancy += 1
+                state.dispatch_ptr += 1
+                dispatch_budget -= 1
+                any_progress = True
+                if pending[gid] == 0:
+                    ready_at = opmax[gid]
+                    if ready_at <= time:
+                        ready_at = time + 1
+                    heappush(wakeup, (ready_at, gid))
+            if (
+                state.dispatch_ptr < stream_len
+                and state.occupancy < state.window
+                and dispatch_budget == 0
+            ):
+                width_blocked.append(state)
+
+        # Earliest future activity across all units. Computed *after*
+        # every unit has processed this cycle, because a later unit's
+        # issues may have pushed wakeups into an earlier unit's heap.
+        next_time = _INFINITY
+        for state in units:
+            if state.done():
+                continue
+            candidate = _INFINITY
+            if state.ready:
+                candidate = time + 1
+            elif state.wakeup:
+                candidate = state.wakeup[0][0]
+            next_time = min(next_time, candidate)
+        if width_blocked:
+            next_time = min(next_time, time + 1)
+
+        if esw_enabled and au_state is not None and du_state is not None:
+            sample = _esw_sample(au_state, du_state, issued_flag)
+            if sample is not None:
+                # The scheduling state is static until next_time, so the
+                # sample holds for the whole skipped interval.
+                if next_time is _INFINITY:
+                    duration = 1
+                else:
+                    duration = max(1, int(next_time) - time)
+                esw_weighted += sample * duration
+                esw_cycles += duration
+                if sample > esw_peak:
+                    esw_peak = sample
+
+        if all_done:
+            break
+        if next_time is _INFINITY:
+            if any_progress:
+                # Progress happened this cycle but nothing is scheduled:
+                # re-scan next cycle (cross-unit wakeups land in heaps,
+                # so this is only reachable through dispatch races).
+                time += 1
+                continue
+            raise SimulationDeadlockError(
+                f"no unit can make progress at cycle {time} with "
+                f"{sum(len(s.stream) - s.dispatch_ptr + s.occupancy for s in units)}"
+                " instructions outstanding"
+            )
+        if max_cycles is not None and next_time > max_cycles:
+            raise SimulationError(
+                f"simulation exceeded max_cycles={max_cycles}"
+            )
+        time = int(next_time)
+
+    cycles = max(avail_arr) if avail_arr else 0
+    unit_stats = {
+        state.unit: UnitStats(
+            unit=state.unit,
+            instructions=state.issued,
+            last_issue=state.last_issue,
+            issue_cycles=state.issue_cycles,
+        )
+        for state in units
+    }
+    occupancy = occupancy_from_intervals(intervals) if probe_buffers else None
+    issue_times = None
+    if collect_issue_times and issue_time is not None:
+        issue_times = {gid: issue_time[gid] for gid in range(total)}
+    return SimulationResult(
+        name=program.name,
+        cycles=cycles,
+        instructions=total,
+        unit_stats=unit_stats,
+        buffer_occupancy=occupancy,
+        esw_peak=esw_peak,
+        esw_mean=esw_weighted / esw_cycles if esw_cycles else 0.0,
+        issue_times=issue_times,
+        meta={"memory": memory.describe(), **program.meta},
+    )
+
+
+def _esw_sample(
+    au_state: _UnitState, du_state: _UnitState, issued_flag: bytearray
+) -> int | None:
+    """Effective-single-window sample (paper §3).
+
+    The minimum single window that would hold everything from the
+    oldest not-yet-issued DU instruction to the youngest dispatched AU
+    instruction, measured in architectural instructions.
+    """
+    du_stream = du_state.stream
+    position = du_state.oldest_unissued
+    while position < len(du_stream) and issued_flag[du_stream[position].gid]:
+        position += 1
+    du_state.oldest_unissued = position
+    if position >= len(du_stream) or au_state.dispatch_ptr == 0:
+        return None
+    youngest_au = au_state.stream[au_state.dispatch_ptr - 1].orig_index
+    oldest_du = du_stream[position].orig_index
+    if youngest_au < oldest_du:
+        return None
+    return youngest_au - oldest_du + 1

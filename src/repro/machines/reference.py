@@ -1,6 +1,6 @@
 """A deliberately naive cycle-by-cycle simulator for differential testing.
 
-This implements the README.md timing semantics as directly as
+This implements the docs/timing.md semantics as directly as
 possible — scanning every window every cycle, no heaps, no event
 skipping — so the test-suite can check that the optimised event-driven
 engine produces the *identical* schedule. It is orders of magnitude

@@ -102,7 +102,9 @@ class DecoupledModel:
     def compile(
         self, program: Program, point: "Point", latencies: LatencyModel
     ) -> MachineProgram:
-        return partition_with_strategy(program, point.partition, latencies)
+        compiled = partition_with_strategy(program, point.partition, latencies)
+        compiled.lowered()  # build the SoA form once, not per simulation
+        return compiled
 
     def simulate(
         self,
@@ -140,7 +142,9 @@ class SuperscalarModel:
     def compile(
         self, program: Program, point: "Point", latencies: LatencyModel
     ) -> MachineProgram:
-        return SuperscalarMachine.compile(program, latencies)
+        compiled = SuperscalarMachine.compile(program, latencies)
+        compiled.lowered()  # build the SoA form once, not per simulation
+        return compiled
 
     def simulate(
         self,

@@ -33,6 +33,18 @@ class MemorySystem(abc.ABC):
     def reset(self) -> None:
         """Forget all state so the model can be reused across runs."""
 
+    def uniform_extra_latency(self) -> int | None:
+        """The extra latency if it is address- and time-independent.
+
+        Models whose answer never depends on the access (the paper's
+        fixed-differential model) return it here, which lets the engine
+        batch the per-access lookup into one precomputed latency table
+        and take its fast path (docs/timing.md, "Memory accesses").
+        Stateful models (caches, bypass buffers) return None — the
+        default — and are queried access by access in issue order.
+        """
+        return None
+
     def describe(self) -> str:
         """One-line human-readable description for experiment records."""
         return type(self).__name__

@@ -26,6 +26,11 @@ class FixedLatencyMemory(MemorySystem):
     def extra_latency(self, addr: int, now: int) -> int:
         return self.memory_differential
 
+    def uniform_extra_latency(self) -> int:
+        # Address-independent by definition: the engine batches the
+        # lookup into its precomputed latency table.
+        return self.memory_differential
+
     def reset(self) -> None:  # stateless
         return None
 

@@ -46,8 +46,7 @@ class MemKind(enum.Enum):
       ``mem_base + md`` cycles after issue.
     * ``PREFETCH_STORE`` — SWSM store prefetch; establishes the entry in
       one cycle (stores complete into an idealised write buffer and do
-      not wait on the memory differential — see README.md, timing
-      semantics).
+      not wait on the memory differential — see docs/timing.md).
     * ``ACCESS_LOAD`` — SWSM access; ready once the paired prefetch's
       datum arrived, takes one cycle.
     * ``ACCESS_STORE`` — SWSM store access; one cycle.
@@ -118,6 +117,7 @@ class MachineProgram:
         self.streams = streams
         self.meta: dict[str, object] = dict(meta or {})
         self.num_instructions = sum(len(s) for s in streams.values())
+        self._lowered = None
 
     @property
     def units(self) -> tuple[Unit, ...]:
@@ -125,6 +125,29 @@ class MachineProgram:
 
     def stream(self, unit: Unit) -> list[MachineInstruction]:
         return self.streams[unit]
+
+    def lowered(self):
+        """The cached struct-of-arrays form the engine schedules over.
+
+        Built on first use (or eagerly by the machine registry's
+        ``compile``) and reused across every window size and memory
+        differential; see :mod:`repro.machines.lowered`. Streams must
+        not be mutated after the first call.
+        """
+        low = self._lowered
+        if low is None:
+            from ..machines.lowered import lower_program
+
+            low = self._lowered = lower_program(self)
+        return low
+
+    def __getstate__(self) -> dict[str, object]:
+        # The lowered form is derived data and can be large; rebuild it
+        # after unpickling (e.g. in process-pool workers) instead of
+        # shipping it.
+        state = self.__dict__.copy()
+        state["_lowered"] = None
+        return state
 
     @cached_property
     def by_gid(self) -> dict[int, MachineInstruction]:

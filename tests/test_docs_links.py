@@ -1,0 +1,106 @@
+"""Documentation link integrity.
+
+Validates that every relative link in ``README.md`` and ``docs/*.md``
+resolves to a real file (and, for ``#fragment`` links, to a real
+heading), and that documentation paths mentioned in source docstrings
+exist — so docstring/doc drift like the old ``DESIGN.md`` references
+cannot recur. Runs as part of the normal pytest suite and as a
+dedicated CI step.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+MARKDOWN_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")]
+)
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Doc-file paths mentioned in Python docstrings/comments.
+_DOC_MENTION = re.compile(r"(?:docs/[A-Za-z0-9_\-]+\.md|BENCH_engine\.json)")
+
+
+def _headings(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in the document."""
+    slugs = set()
+    for line in markdown.splitlines():
+        match = re.match(r"#+\s+(.*)", line)
+        if match:
+            title = match.group(1).strip()
+            title = re.sub(r"[`*_]", "", title)
+            slug = re.sub(r"[^\w\s-]", "", title.lower())
+            slug = re.sub(r"\s+", "-", slug.strip())
+            slugs.add(slug)
+    return slugs
+
+
+def _relative_links(markdown: str):
+    for target in _LINK.findall(markdown):
+        if re.match(r"[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # absolute URL scheme (https:, mailto:, ...)
+        yield target
+
+
+@pytest.mark.parametrize(
+    "path", MARKDOWN_FILES, ids=[p.name for p in MARKDOWN_FILES]
+)
+def test_markdown_relative_links_resolve(path: Path):
+    text = path.read_text()
+    problems = []
+    for target in _relative_links(text):
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target!r} -> missing {resolved}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in _headings(resolved.read_text()):
+                problems.append(
+                    f"{target!r} -> no heading {fragment!r} in "
+                    f"{resolved.name}"
+                )
+    assert not problems, "\n".join(problems)
+
+
+def test_markdown_links_stay_inside_the_repo():
+    for path in MARKDOWN_FILES:
+        for target in _relative_links(path.read_text()):
+            file_part = target.partition("#")[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            assert resolved.is_relative_to(REPO), (
+                f"{path.name}: {target!r} escapes the repository"
+            )
+
+
+def test_doc_paths_mentioned_in_source_exist():
+    problems = []
+    for directory in ("src", "benchmarks", "tools", "examples"):
+        for source in sorted((REPO / directory).rglob("*.py")):
+            for mention in _DOC_MENTION.findall(source.read_text()):
+                if not (REPO / mention).exists():
+                    problems.append(
+                        f"{source.relative_to(REPO)} mentions missing "
+                        f"{mention!r}"
+                    )
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_documents_every_docs_page():
+    readme = (REPO / "README.md").read_text()
+    for page in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md does not link docs/{page.name}"
+        )

@@ -1,7 +1,7 @@
 """Cycle-exact semantics tests for the event-driven engine.
 
 Each test hand-builds a tiny machine program and asserts the exact
-issue times mandated by the README.md timing semantics.
+issue times mandated by the docs/timing.md semantics.
 """
 
 from __future__ import annotations

@@ -1,0 +1,281 @@
+"""Parity suite for the struct-of-arrays engine.
+
+Three implementations of the docs/timing.md semantics must agree
+instruction for instruction:
+
+* ``simulate`` — the SoA engine (fast loop, steady-state accelerator,
+  and the general probing loop);
+* ``simulate_objects`` — the pre-SoA object-walking engine, preserved
+  verbatim;
+* ``simulate_naive`` — the cycle-by-cycle reference.
+
+The suite compares whole kernels at ``tiny`` and ``small`` scale on
+both machine models, random loop-nest programs (which exercise the
+steady-state skip on arbitrary structures), and the probing /
+stateful-memory paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DecoupledMachine,
+    KernelBuilder,
+    SuperscalarMachine,
+    Unit,
+    UnitConfig,
+)
+from repro.experiments.scales import PRESETS
+from repro.kernels import PAPER_ORDER, build_kernel
+from repro.machines import simulate, simulate_naive, simulate_objects
+from repro.machines.engine import PERF_COUNTERS
+from repro.memory import BypassBuffer, CacheMemory, FixedLatencyMemory
+
+TINY = PRESETS["tiny"].scale
+SMALL = PRESETS["small"].scale
+
+
+def dm_configs(window: int) -> dict[Unit, UnitConfig]:
+    return {
+        Unit.AU: UnitConfig(window=window, width=4, name="AU"),
+        Unit.DU: UnitConfig(window=window, width=5, name="DU"),
+    }
+
+
+def swsm_configs(window: int) -> dict[Unit, UnitConfig]:
+    return {Unit.SINGLE: UnitConfig(window=window, width=9)}
+
+
+def compiled_variants(name: str, scale: int):
+    program = build_kernel(name, scale)
+    yield DecoupledMachine.compile(program), dm_configs
+    yield SuperscalarMachine.compile(program), swsm_configs
+
+
+def assert_same_schedule(new, old) -> None:
+    """Full-result equality between the SoA and legacy engines."""
+    assert new.cycles == old.cycles
+    assert new.instructions == old.instructions
+    assert new.unit_stats == old.unit_stats
+    assert new.issue_times == old.issue_times
+    assert new.esw_peak == old.esw_peak
+    assert new.esw_mean == old.esw_mean
+    assert new.buffer_occupancy == old.buffer_occupancy
+
+
+class TestKernelParity:
+    """Bit-identical schedules on the full kernel suite."""
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_tiny_vs_naive_reference(self, name):
+        for compiled, make_configs in compiled_variants(name, TINY):
+            configs = make_configs(16)
+            for md in (0, 60):
+                naive_cycles, naive_issue = simulate_naive(
+                    compiled, configs, FixedLatencyMemory(md)
+                )
+                result = simulate(
+                    compiled,
+                    configs,
+                    FixedLatencyMemory(md),
+                    collect_issue_times=True,
+                )
+                assert result.cycles == naive_cycles
+                assert result.issue_times == naive_issue
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_small_vs_object_engine(self, name):
+        for compiled, make_configs in compiled_variants(name, SMALL):
+            for window in (16, 64):
+                configs = make_configs(window)
+                for md in (0, 60):
+                    new = simulate(
+                        compiled,
+                        configs,
+                        FixedLatencyMemory(md),
+                        collect_issue_times=True,
+                    )
+                    old = simulate_objects(
+                        compiled,
+                        configs,
+                        FixedLatencyMemory(md),
+                        collect_issue_times=True,
+                    )
+                    assert_same_schedule(new, old)
+
+
+def loop_nest_program(seed: int, body: int, iterations: int):
+    """A random but structurally periodic trace: one random loop body
+    repeated verbatim, with constant-offset cross-iteration deps."""
+    rng = random.Random(seed)
+    builder = KernelBuilder(f"loop{seed}", seed=seed)
+    array = builder.array("a", 4096)
+    plan = []
+    for position in range(body):
+        choice = rng.random()
+        deps = []
+        if position and rng.random() < 0.8:
+            deps.append(rng.randrange(position))  # same-iteration dep
+        if rng.random() < 0.3:
+            deps.append(-1 - rng.randrange(body))  # previous iteration
+        plan.append((choice, tuple(deps), rng.randrange(64)))
+    previous: list = []
+    induction = None
+    for iteration in range(iterations):
+        induction = builder.induction(induction)
+        current: list = []
+        for choice, deps, index in plan:
+            srcs = [induction]
+            for dep in deps:
+                if dep >= 0:
+                    srcs.append(current[dep])
+                elif previous:
+                    srcs.append(previous[len(previous) + dep])
+            if choice < 0.3:
+                value = builder.load(array, (iteration * 64 + index) % 4096,
+                                     *srcs)
+            elif choice < 0.4:
+                builder.store(array, index, srcs[-1], *srcs[:-1])
+                value = builder.iadd(*srcs)
+            elif choice < 0.7:
+                value = builder.fadd(*srcs)
+            else:
+                value = builder.fmul(*srcs)
+            current.append(value)
+        previous = current
+    return builder.build()
+
+
+class TestSteadyStateAccelerator:
+    def test_kernel_steady_state_detected(self):
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        steady = compiled.lowered().steady()
+        assert steady is not None
+        assert steady.period >= 1
+        assert sum(steady.unit_counts) == steady.period
+
+    def test_skip_fires_on_small_kernels(self):
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        before = PERF_COUNTERS["steady_skips"]
+        new = simulate(compiled, dm_configs(32), FixedLatencyMemory(60),
+                       collect_issue_times=True)
+        assert PERF_COUNTERS["steady_skips"] == before + 1
+        old = simulate_objects(compiled, dm_configs(32),
+                               FixedLatencyMemory(60),
+                               collect_issue_times=True)
+        assert_same_schedule(new, old)
+
+    def test_env_toggle_disables_skip(self, monkeypatch):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", SMALL))
+        enabled = simulate(compiled, dm_configs(32), FixedLatencyMemory(60),
+                           collect_issue_times=True)
+        monkeypatch.setenv("REPRO_PERIOD_SKIP", "0")
+        before = PERF_COUNTERS["steady_skips"]
+        disabled = simulate(compiled, dm_configs(32), FixedLatencyMemory(60),
+                            collect_issue_times=True)
+        assert PERF_COUNTERS["steady_skips"] == before
+        assert_same_schedule(enabled, disabled)
+
+    def test_irregular_program_has_no_steady_state(self):
+        rng = random.Random(7)
+        builder = KernelBuilder("irregular", seed=7)
+        array = builder.array("a", 512)
+        values = []
+        for position in range(3000):
+            if values and rng.random() < 0.6:
+                values.append(builder.fadd(rng.choice(values[-30:])))
+            elif rng.random() < 0.5:
+                values.append(builder.load(array, rng.randrange(512)))
+            else:
+                values.append(builder.iadd())
+        compiled = DecoupledMachine.compile(builder.build())
+        assert compiled.lowered().steady() is None
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        body=st.integers(8, 40),
+        window=st.sampled_from([4, 16, 64]),
+        md=st.sampled_from([0, 13, 60]),
+    )
+    def test_random_loop_nests_match_object_engine(self, seed, body, window,
+                                                   md):
+        iterations = max(3, 3200 // body)
+        program = loop_nest_program(seed, body, iterations)
+        for compile_fn, make_configs in (
+            (DecoupledMachine.compile, dm_configs),
+            (SuperscalarMachine.compile, swsm_configs),
+        ):
+            compiled = compile_fn(program)
+            configs = make_configs(window)
+            new = simulate(compiled, configs, FixedLatencyMemory(md),
+                           collect_issue_times=True)
+            old = simulate_objects(compiled, configs, FixedLatencyMemory(md),
+                                   collect_issue_times=True)
+            assert_same_schedule(new, old)
+
+
+class TestGeneralLoopParity:
+    """The probing path must match the legacy engine too."""
+
+    def test_probe_buffers_and_esw(self):
+        compiled = DecoupledMachine.compile(build_kernel("mdg", TINY))
+        for md in (0, 60):
+            new = simulate(compiled, dm_configs(32), FixedLatencyMemory(md),
+                           probe_buffers=True, probe_esw=True,
+                           collect_issue_times=True)
+            old = simulate_objects(compiled, dm_configs(32),
+                                   FixedLatencyMemory(md),
+                                   probe_buffers=True, probe_esw=True,
+                                   collect_issue_times=True)
+            assert_same_schedule(new, old)
+            assert new.buffer_occupancy is not None
+
+    def test_stateful_memory_models(self):
+        compiled = SuperscalarMachine.compile(build_kernel("track", TINY))
+        for make_memory in (
+            lambda: CacheMemory(miss_extra=60),
+            lambda: BypassBuffer(FixedLatencyMemory(60), entries=32),
+        ):
+            new = simulate(compiled, swsm_configs(32), make_memory(),
+                           collect_issue_times=True)
+            old = simulate_objects(compiled, swsm_configs(32), make_memory(),
+                                   collect_issue_times=True)
+            assert_same_schedule(new, old)
+
+    def test_uniform_memory_contract(self):
+        assert FixedLatencyMemory(17).uniform_extra_latency() == 17
+        assert CacheMemory().uniform_extra_latency() is None
+        assert BypassBuffer(FixedLatencyMemory(5)).uniform_extra_latency() \
+            is None
+
+
+class TestLoweredForm:
+    def test_lowering_is_cached_on_the_program(self):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        assert compiled.lowered() is compiled.lowered()
+
+    def test_pickle_drops_the_lowered_cache(self):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        compiled.lowered()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._lowered is None
+        assert clone.lowered().total == compiled.lowered().total
+
+    def test_consumer_table_matches_program(self):
+        compiled = DecoupledMachine.compile(build_kernel("qcd", TINY))
+        low = compiled.lowered()
+        assert low.total == compiled.num_instructions
+        for gid, consumers in compiled.consumers.items():
+            assert sorted(low.cons[gid]) == sorted(consumers)
+
+
+def test_huge_scale_preset_registered():
+    assert "huge" in PRESETS
+    assert PRESETS["huge"].scale > PRESETS["paper"].scale
