@@ -3,10 +3,16 @@
 Times the struct-of-arrays engine (``repro.machines.engine``) against
 the preserved pre-SoA object engine
 (``repro.machines.engine_objects``) on FLO52Q at the ``small``,
-``paper`` and ``huge`` tiers, asserts the two produce identical
-schedules, and records every row in ``BENCH_engine.json``.
+``paper`` and ``huge`` tiers — under the paper's fixed-differential
+memory *and* under every stateful memory model (bypass buffer, cache
+hierarchy, banked memory, stream prefetcher) — asserts the engines
+produce identical schedules, and records every row in
+``BENCH_engine.json``. The stateful tiers track how far the old
+per-access fallback gap has closed: bypass-style models ride the
+speculative schedule fixed point (docs/timing.md), the rest the
+chunked issue-order path.
 
-Run the full three-tier comparison as a script::
+Run the full comparison as a script::
 
     PYTHONPATH=src python benchmarks/bench_engine_soa.py
 
@@ -21,16 +27,27 @@ import time
 from trajectory import record_engine_rows
 
 from repro import DMConfig, DecoupledMachine, SWSMConfig, SuperscalarMachine
+from repro.api.presets import HIERARCHY_MEMORY_VARIANTS
 from repro.config import UnitConfig
 from repro.experiments.scales import PRESETS
 from repro.kernels import build_kernel
-from repro.machines import simulate_objects
+from repro.machines import simulate, simulate_objects
 from repro.memory import FixedLatencyMemory
 from repro.partition import Unit
 
 WINDOW = 32
 MEMORY_DIFFERENTIAL = 60
 SCALES = ("small", "paper", "huge")
+
+#: The stateful models of the memory-hierarchy scenario space — the
+#: exact configurations the hierarchy ablation preset ships, built at
+#: ``MEMORY_DIFFERENTIAL`` (``fixed`` is the uniform tier above and
+#: ``hierarchy`` duplicates ``cache`` structurally).
+STATEFUL_MODELS = tuple(
+    (label, (lambda s: lambda: s.build(MEMORY_DIFFERENTIAL))(spec))
+    for label, spec in HIERARCHY_MEMORY_VARIANTS
+    if label not in ("fixed", "hierarchy")
+)
 
 
 def _best_of(rounds: int, run) -> float:
@@ -105,10 +122,57 @@ def measure_scale(scale_name: str, rounds: int = 3) -> list[dict]:
     return rows
 
 
+def measure_stateful(scale_name: str, rounds: int = 3) -> list[dict]:
+    """Old-vs-new rows for the DM under every stateful memory model."""
+    program = build_kernel("flo52q", PRESETS[scale_name].scale)
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    compiled = dm.compile(program)
+    compiled.lowered()
+    configs = {Unit.AU: dm.config.au, Unit.DU: dm.config.du}
+    instructions = compiled.num_instructions
+    rows = []
+    for label, make_memory in STATEFUL_MODELS:
+        new_result = simulate(compiled, configs, make_memory())
+        old_result = simulate_objects(compiled, configs, make_memory())
+        assert new_result.cycles == old_result.cycles, (
+            f"engines disagree on dm+{label}@{scale_name}: "
+            f"{new_result.cycles} vs {old_result.cycles}"
+        )
+        new_seconds = _best_of(
+            rounds, lambda: simulate(compiled, configs, make_memory())
+        )
+        old_seconds = _best_of(
+            max(1, rounds - 1),
+            lambda: simulate_objects(compiled, configs, make_memory()),
+        )
+        base = {
+            "scale": scale_name,
+            "machine": f"dm+{label}",
+            "memory": make_memory().describe(),
+            "instructions": instructions,
+            "cycles": new_result.cycles,
+        }
+        rows.append({
+            **base,
+            "engine": "objects",
+            "seconds": round(old_seconds, 6),
+            "ips": round(instructions / old_seconds),
+        })
+        rows.append({
+            **base,
+            "engine": "soa",
+            "seconds": round(new_seconds, 6),
+            "ips": round(instructions / new_seconds),
+            "speedup_vs_objects": round(old_seconds / new_seconds, 2),
+        })
+    return rows
+
+
 def test_soa_engine_matches_and_records(preset):
     """Parity plus one recorded tier (the active ``REPRO_SCALE``)."""
     scale_name = preset.name if preset.name in PRESETS else "small"
     rows = measure_scale(scale_name, rounds=2)
+    rows.extend(measure_stateful(scale_name, rounds=2))
     record_engine_rows(rows)
     for row in rows:
         if row["engine"] == "soa":
@@ -123,15 +187,17 @@ def main() -> None:
     all_rows = []
     for scale_name in SCALES:
         all_rows.extend(measure_scale(scale_name))
+        all_rows.extend(measure_stateful(scale_name))
     record_engine_rows(all_rows)
-    print(f"{'scale':8} {'machine':8} {'old ips':>12} {'new ips':>12} "
+    print(f"{'scale':8} {'machine':12} {'old ips':>12} {'new ips':>12} "
           f"{'speedup':>8}")
     by_key = {(r["scale"], r["machine"], r["engine"]): r for r in all_rows}
+    machines = ["dm", "swsm"] + [f"dm+{label}" for label, _ in STATEFUL_MODELS]
     for scale_name in SCALES:
-        for machine_name in ("dm", "swsm"):
+        for machine_name in machines:
             old = by_key[(scale_name, machine_name, "objects")]
             new = by_key[(scale_name, machine_name, "soa")]
-            print(f"{scale_name:8} {machine_name:8} {old['ips']:>12,} "
+            print(f"{scale_name:8} {machine_name:12} {old['ips']:>12,} "
                   f"{new['ips']:>12,} {new['speedup_vs_objects']:>7.1f}x")
 
 

@@ -2,6 +2,9 @@
 
 Regenerates the LHE of all seven programs across the window ladder,
 prints the table in the paper's layout, and checks the band grouping.
+The band-fidelity assertions only hold from ``small`` scale upward;
+the ``tiny`` smoke tier still regenerates everything but skips them
+(traces that short have not reached their steady-state LHE).
 """
 
 from __future__ import annotations
@@ -10,8 +13,11 @@ from conftest import run_once
 
 from repro.experiments import render_table, run_table1
 
+#: Smallest preset whose traces are long enough for the paper's bands.
+_FIDELITY_SCALES = ("small", "paper", "huge")
 
-def test_table1(lab, benchmark):
+
+def test_table1(lab, preset, benchmark):
     result = run_once(benchmark, lambda: run_table1(lab))
     headers = ["Prog"] + [
         "unl" if window is None else str(window) for window in result.windows
@@ -25,12 +31,13 @@ def test_table1(lab, benchmark):
     print()
     print(render_table(headers, rows,
                        title="Table 1: LHE for md=60 (DM)"))
-    assert result.bands_correct == len(result.rows), (
-        "effectiveness bands diverged from the paper"
-    )
+    if preset.name in _FIDELITY_SCALES:
+        assert result.bands_correct == len(result.rows), (
+            "effectiveness bands diverged from the paper"
+        )
 
 
-def test_table1_band_boundaries(lab, benchmark):
+def test_table1_band_boundaries(lab, preset, benchmark):
     """The three bands are separated at the unlimited window."""
     result = run_once(benchmark, lambda: run_table1(lab, windows=(None,)))
     by_band: dict[str, list[float]] = {"high": [], "moderate": [], "poor": []}
@@ -39,5 +46,6 @@ def test_table1_band_boundaries(lab, benchmark):
     print()
     for band, values in by_band.items():
         print(f"{band:9s}: " + " ".join(f"{v:.2f}" for v in sorted(values)))
-    assert min(by_band["high"]) > max(by_band["moderate"])
-    assert min(by_band["moderate"]) > max(by_band["poor"])
+    if preset.name in _FIDELITY_SCALES:
+        assert min(by_band["high"]) > max(by_band["moderate"])
+        assert min(by_band["moderate"]) > max(by_band["poor"])

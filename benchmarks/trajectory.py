@@ -24,6 +24,14 @@ _HEADER = {
         "objects": "pre-SoA object engine "
                    "(repro.machines.engine_objects.simulate_objects)",
     },
+    "machines": {
+        "dm": "access decoupled machine, fixed-differential memory",
+        "swsm": "single-window superscalar, fixed-differential memory",
+        "dm+<model>": "DM under a stateful memory model (bypass buffer, "
+                      "cache hierarchy, banked memory, stream prefetcher); "
+                      "rows carry a 'memory' field with the model "
+                      "description",
+    },
 }
 
 

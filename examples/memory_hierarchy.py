@@ -1,11 +1,13 @@
-"""Beyond the fixed differential: caches and the bypass buffer.
+"""Beyond the fixed differential: the memory-hierarchy scenario space.
 
 The paper models memory as a fixed 60-cycle differential ("a weak
 memory system capable of capturing no locality") and sketches a bypass
-buffer as future work. This example runs the DM under three memory
-systems — fixed cost, an L1+L2 hierarchy, and the bypass buffer in
-front of the fixed-cost memory — to show how much of the DM/SWSM story
-survives once locality is captured.
+buffer as future work. This example runs the DM under the whole model
+ladder — fixed cost, an L1+L2 hierarchy, the bypass buffer, banked
+memory with conflict queuing, and a stride prefetcher — to show how
+much of the DM/SWSM story survives once locality is captured (the
+`repro ablation --study hierarchy` driver runs the same comparison
+through cached sweeps).
 
 Run:  python examples/memory_hierarchy.py
 """
@@ -13,11 +15,13 @@ Run:  python examples/memory_hierarchy.py
 from __future__ import annotations
 
 from repro import (
+    BankedMemory,
     BypassBuffer,
     CacheMemory,
     DecoupledMachine,
     DMConfig,
     FixedLatencyMemory,
+    StreamPrefetcher,
     SuperscalarMachine,
     SWSMConfig,
     build_kernel,
@@ -31,6 +35,10 @@ def memory_systems():
     yield "L1+L2 cache", lambda: CacheMemory(miss_extra=60)
     yield "bypass(64) over fixed", lambda: BypassBuffer(
         FixedLatencyMemory(60), entries=64, line_bytes=1
+    )
+    yield "banked(8, busy=4)", lambda: BankedMemory(extra=60, banks=8)
+    yield "stride prefetcher", lambda: StreamPrefetcher(
+        FixedLatencyMemory(60)
     )
 
 

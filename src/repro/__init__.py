@@ -64,6 +64,7 @@ from .experiments import (
     run_esw_study,
     run_ewr_figure,
     run_issue_split_ablation,
+    run_memory_hierarchy_ablation,
     run_partition_ablation,
     run_speedup_figure,
     run_table1,
@@ -87,7 +88,14 @@ from .machines import (
     list_machines,
     register_machine,
 )
-from .memory import BypassBuffer, CacheMemory, FixedLatencyMemory, MemorySystem
+from .memory import (
+    BankedMemory,
+    BypassBuffer,
+    CacheMemory,
+    FixedLatencyMemory,
+    MemorySystem,
+    StreamPrefetcher,
+)
 from .metrics import (
     classify_band,
     equivalent_window_ratio,
@@ -107,6 +115,7 @@ from .partition import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BankedMemory",
     "BuilderError",
     "BypassBuffer",
     "CacheMemory",
@@ -142,6 +151,7 @@ __all__ = [
     "SimulationDeadlockError",
     "SimulationError",
     "SimulationResult",
+    "StreamPrefetcher",
     "SuperscalarMachine",
     "Sweep",
     "SweepResult",
@@ -171,6 +181,7 @@ __all__ = [
     "run_esw_study",
     "run_ewr_figure",
     "run_issue_split_ablation",
+    "run_memory_hierarchy_ablation",
     "run_partition_ablation",
     "run_speedup_figure",
     "run_table1",

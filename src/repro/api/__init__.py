@@ -16,12 +16,14 @@ See docs/api.md for a guided tour.
 from .spec import UNLIMITED, MemorySpec, Point, Sweep, load_sweep, point_digest
 from .session import Session, SweepResult
 from .presets import (
+    HIERARCHY_MEMORY_VARIANTS,
     PRESETS_NEEDING_PROGRAM,
     SWEEP_PRESETS,
     bypass_sweep,
     esw_sweep,
     ewr_dm_sweep,
     expansion_sweep,
+    hierarchy_sweep,
     issue_split_sweep,
     partition_sweep,
     speedup_sweep,
@@ -29,6 +31,7 @@ from .presets import (
 )
 
 __all__ = [
+    "HIERARCHY_MEMORY_VARIANTS",
     "MemorySpec",
     "Point",
     "PRESETS_NEEDING_PROGRAM",
@@ -41,6 +44,7 @@ __all__ = [
     "esw_sweep",
     "ewr_dm_sweep",
     "expansion_sweep",
+    "hierarchy_sweep",
     "issue_split_sweep",
     "load_sweep",
     "partition_sweep",

@@ -28,10 +28,12 @@ __all__ = [
     "SWEEP_PRESETS",
     "PRESETS_NEEDING_PROGRAM",
     "TABLE1_WINDOWS",
+    "HIERARCHY_MEMORY_VARIANTS",
     "bypass_sweep",
     "esw_sweep",
     "ewr_dm_sweep",
     "expansion_sweep",
+    "hierarchy_sweep",
     "issue_split_sweep",
     "partition_sweep",
     "speedup_sweep",
@@ -201,6 +203,50 @@ def bypass_sweep(
     )
 
 
+#: The memory-hierarchy ablation's model ladder: the paper's fixed
+#: differential, then progressively more locality-capturing systems.
+#: Labels are stable row names for tables and tests.
+HIERARCHY_MEMORY_VARIANTS: tuple[tuple[str, MemorySpec], ...] = (
+    ("fixed", MemorySpec()),
+    ("bypass", MemorySpec(kind="bypass", entries=64, line_bytes=1)),
+    ("cache", MemorySpec(kind="cache")),
+    (
+        "hierarchy",
+        MemorySpec(
+            kind="hierarchy",
+            levels=((4 * 1024, 32, 1, 0), (128 * 1024, 32, 8, 4)),
+        ),
+    ),
+    ("banked", MemorySpec(kind="banked", banks=8, bank_busy=4)),
+    ("prefetch", MemorySpec(kind="prefetch", streams=4, degree=2)),
+)
+
+
+def hierarchy_sweep(
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    variants: tuple[tuple[str, MemorySpec], ...] = HIERARCHY_MEMORY_VARIANTS,
+    **base: object,
+) -> Sweep:
+    """Memory-hierarchy ablation: DM vs SWSM across memory systems.
+
+    The paper's footnote observes that a locality-capturing memory
+    system shrinks the differential the DM must hide; this grid
+    quantifies how much of the DM/SWSM gap survives each system in
+    :data:`HIERARCHY_MEMORY_VARIANTS`.
+    """
+    return Sweep.grid(
+        name=f"hierarchy:{program}",
+        program=program,
+        machine=("dm", "swsm"),
+        window=window,
+        memory_differential=memory_differential,
+        memory=tuple(spec for _, spec in variants),
+        **base,
+    )
+
+
 def expansion_sweep(
     program: str,
     window: int = 32,
@@ -235,6 +281,7 @@ SWEEP_PRESETS = {
     "partition": partition_sweep,
     "bypass": bypass_sweep,
     "expansion": expansion_sweep,
+    "hierarchy": hierarchy_sweep,
 }
 
 #: Presets whose factory takes the program as first positional argument.
@@ -245,4 +292,5 @@ PRESETS_NEEDING_PROGRAM = (
     "partition",
     "bypass",
     "expansion",
+    "hierarchy",
 )

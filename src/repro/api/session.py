@@ -36,7 +36,6 @@ from ..ir.transforms import expand_code
 from ..kernels import build_kernel
 from ..machines import SimulationResult
 from ..machines.registry import get_machine
-from ..memory import BypassBuffer
 from .spec import Point, Sweep, point_digest
 
 __all__ = ["Session", "SweepResult"]
@@ -218,16 +217,12 @@ class Session:
         result = model.simulate(
             compiled, canonical, window, memory, self.latencies
         )
-        if isinstance(memory, BypassBuffer):
-            result = replace(
-                result,
-                meta={
-                    **result.meta,
-                    "bypass_hits": memory.hits,
-                    "bypass_misses": memory.misses,
-                    "bypass_hit_rate": memory.hit_rate,
-                },
-            )
+        extras = memory.stats()
+        if extras:
+            # Stateful models report their hit/conflict counters
+            # (bypass_hit_rate, cache_hit_rate, bank_conflict_rate,
+            # prefetch_hit_rate, ...) into the result metadata.
+            result = replace(result, meta={**result.meta, **extras})
         return result
 
     # -- sweeps ------------------------------------------------------------------

@@ -40,10 +40,13 @@ from pathlib import Path
 from ..config import LatencyModel
 from ..errors import ConfigError
 from ..memory import (
+    BankedMemory,
     BypassBuffer,
     CacheMemory,
     FixedLatencyMemory,
     MemorySystem,
+    StreamPrefetcher,
+    hierarchy_levels,
 )
 
 __all__ = [
@@ -60,24 +63,48 @@ UNLIMITED: int | None = None
 
 #: Bump when the cached result format or timing semantics change; part
 #: of every disk-cache key, so stale caches invalidate themselves.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
-_MEMORY_KINDS = ("fixed", "bypass", "cache")
+_MEMORY_KINDS = (
+    "fixed", "bypass", "cache", "hierarchy", "banked", "prefetch",
+)
 
 
 @dataclass(frozen=True)
 class MemorySpec:
     """Declarative description of the memory system behind a run.
 
-    ``fixed`` is the paper's model: every access costs the memory
-    differential. ``bypass`` puts an LRU bypass buffer in front of it
-    (the paper's future-work proposal); ``cache`` uses the two-level
-    LRU hierarchy. ``entries``/``line_bytes`` only apply to ``bypass``.
+    The kinds, and the fields each one reads:
+
+    * ``fixed`` — the paper's model: every access costs the memory
+      differential; no other field applies.
+    * ``bypass`` — an LRU bypass buffer (the paper's future-work
+      proposal) in front of the fixed model; ``entries``,
+      ``line_bytes``.
+    * ``cache`` — the stock two-level LRU hierarchy
+      (:data:`repro.memory.DEFAULT_HIERARCHY`) over a fixed miss cost.
+    * ``hierarchy`` — a cache hierarchy with *configurable* geometry:
+      ``levels`` is a tuple of ``(size_bytes, line_bytes,
+      associativity, hit_extra)`` rows, outermost last (``None`` means
+      the stock hierarchy).
+    * ``banked`` — interleaved banks with conflict queuing;
+      ``banks``, ``bank_busy``, and ``line_bytes`` as the interleave
+      granularity.
+    * ``prefetch`` — a stride/stream prefetcher over the fixed model;
+      ``entries``, ``line_bytes``, ``streams``, ``degree``.
+
+    The memory differential itself stays a :class:`Point` field — the
+    spec describes the *structure*, the point supplies the cost.
     """
 
     kind: str = "fixed"
     entries: int = 64
     line_bytes: int = 32
+    levels: tuple[tuple[int, int, int, int], ...] | None = None
+    banks: int = 8
+    bank_busy: int = 4
+    streams: int = 4
+    degree: int = 2
 
     def __post_init__(self) -> None:
         if self.kind not in _MEMORY_KINDS:
@@ -85,6 +112,17 @@ class MemorySpec:
                 f"unknown memory kind {self.kind!r}; "
                 f"known: {', '.join(_MEMORY_KINDS)}"
             )
+        if self.levels is not None:
+            rows = []
+            for row in self.levels:
+                if len(row) != 4:
+                    raise ConfigError(
+                        "each cache level needs (size_bytes, line_bytes, "
+                        f"associativity, hit_extra), got {row!r}"
+                    )
+                rows.append(tuple(int(value) for value in row))
+            # Normalise lists from TOML/JSON into hashable tuples.
+            object.__setattr__(self, "levels", tuple(rows))
 
     def build(self, memory_differential: int) -> MemorySystem:
         """Instantiate the model for one memory differential."""
@@ -96,6 +134,28 @@ class MemorySpec:
             )
         if self.kind == "cache":
             return CacheMemory(miss_extra=memory_differential)
+        if self.kind == "hierarchy":
+            if self.levels is None:
+                return CacheMemory(miss_extra=memory_differential)
+            return CacheMemory(
+                levels=hierarchy_levels(self.levels),
+                miss_extra=memory_differential,
+            )
+        if self.kind == "banked":
+            return BankedMemory(
+                extra=memory_differential,
+                banks=self.banks,
+                interleave_bytes=self.line_bytes,
+                busy=self.bank_busy,
+            )
+        if self.kind == "prefetch":
+            return StreamPrefetcher(
+                FixedLatencyMemory(memory_differential),
+                entries=self.entries,
+                line_bytes=self.line_bytes,
+                streams=self.streams,
+                degree=self.degree,
+            )
         return FixedLatencyMemory(memory_differential)
 
 

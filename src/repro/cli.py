@@ -43,6 +43,7 @@ from .experiments import (
     run_esw_study,
     run_ewr_figure,
     run_issue_split_ablation,
+    run_memory_hierarchy_ablation,
     run_partition_ablation,
     run_speedup_figure,
     run_table1,
@@ -100,7 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="design-choice ablations")
     ablation.add_argument(
         "--study",
-        choices=("issue-split", "partition", "bypass", "expansion"),
+        choices=(
+            "issue-split", "partition", "bypass", "expansion", "hierarchy",
+        ),
         default="issue-split",
     )
     ablation.add_argument("--program", default="flo52q")
@@ -141,7 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--partition", default="slice")
     run.add_argument("--expansion", type=float, default=0.0)
     run.add_argument(
-        "--memory", choices=("fixed", "bypass", "cache"), default="fixed"
+        "--memory",
+        choices=(
+            "fixed", "bypass", "cache", "hierarchy", "banked", "prefetch",
+        ),
+        default="fixed",
     )
     run.add_argument("--entries", type=int, default=64)
     run.add_argument("--line-bytes", type=int, default=32)
@@ -249,6 +256,22 @@ def _print_ablation(session: Session, study: str, program: str) -> None:
             [[p.entries, p.cycles, p.hit_rate] for p in points],
             title=f"Bypass buffer: {program} (md=60, window=32)",
         ))
+    elif study == "hierarchy":
+        points = run_memory_hierarchy_ablation(session, program)
+        print(render_table(
+            ["memory", "DM cycles", "SWSM cycles", "DM advantage",
+             "DM locality"],
+            [[p.memory, p.dm_cycles, p.swsm_cycles, p.dm_advantage,
+              p.dm_hit_rate] for p in points],
+            title=f"Memory hierarchy: {program} (md=60, window=32)",
+        ))
+        fixed = points[0]
+        best = min(points, key=lambda p: p.dm_cycles)
+        print(
+            f"DM advantage {fixed.dm_advantage:.2f}x under the paper's "
+            f"fixed model; best DM memory system: {best.memory} "
+            f"({best.dm_cycles} cycles)"
+        )
     else:
         points = run_code_expansion_ablation(session, program)
         print(render_table(
@@ -294,16 +317,24 @@ def _build_sweep(args: argparse.Namespace) -> Sweep:
     return factory()
 
 
+def _memory_label(memory: MemorySpec) -> str:
+    """Short sweep-table label showing the field each kind reads."""
+    if memory.kind in ("bypass", "prefetch"):
+        return f"{memory.kind}({memory.entries})"
+    if memory.kind == "banked":
+        return f"banked({memory.banks}x{memory.bank_busy}c)"
+    if memory.kind == "hierarchy":
+        levels = "stock" if memory.levels is None else len(memory.levels)
+        return f"hierarchy({levels})"
+    return memory.kind
+
+
 def _print_sweep(session: Session, sweep: Sweep) -> None:
     outcome = session.run(sweep)
     rows = []
     for point, result in outcome:
         window = "unl" if point.window is None else point.window
-        memory = (
-            point.memory.kind
-            if point.memory.kind == "fixed"
-            else f"{point.memory.kind}({point.memory.entries})"
-        )
+        memory = _memory_label(point.memory)
         rows.append([
             point.program, point.machine, window, point.memory_differential,
             memory, result.cycles, result.ipc,

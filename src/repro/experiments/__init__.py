@@ -10,11 +10,13 @@ from ..api.session import Session, SweepResult
 from .ablations import (
     BypassPoint,
     ExpansionPoint,
+    HierarchyPoint,
     IssueSplitPoint,
     PartitionPoint,
     run_bypass_ablation,
     run_code_expansion_ablation,
     run_issue_split_ablation,
+    run_memory_hierarchy_ablation,
     run_partition_ablation,
 )
 from .esw_study import EswStudyRow, run_esw_study
@@ -44,6 +46,7 @@ __all__ = [
     "EwrFigure",
     "ExpansionPoint",
     "FIGURE_PROGRAMS",
+    "HierarchyPoint",
     "IssueSplitPoint",
     "Lab",
     "PRESETS",
@@ -67,6 +70,7 @@ __all__ = [
     "run_esw_study",
     "run_ewr_figure",
     "run_issue_split_ablation",
+    "run_memory_hierarchy_ablation",
     "run_partition_ablation",
     "run_speedup_figure",
     "run_table1",

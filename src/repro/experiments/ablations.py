@@ -1,6 +1,6 @@
 """Ablation studies for the reproduction's documented design choices.
 
-Four studies, each tied to a discussion point in the paper, each a
+Five studies, each tied to a discussion point in the paper, each a
 declarative :class:`~repro.api.Sweep` evaluated through the session:
 
 * **issue split** — the DM's combined issue width of 9 can be divided
@@ -13,6 +13,11 @@ declarative :class:`~repro.api.Sweep` evaluated through the session:
   captures the temporal locality exposed by decoupling.
 * **code expansion** — the paper's future work asks how the instruction
   overhead of unrolling affects the DM and SWSM differently.
+* **memory hierarchy** — the paper's footnote anticipates that a
+  locality-capturing memory system shrinks the differential the DM
+  must hide; this study runs DM and SWSM under every memory model
+  (caches, configurable hierarchies, banked memory, a stream
+  prefetcher) and reports how much of the DM advantage survives.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..api.presets import (
+    HIERARCHY_MEMORY_VARIANTS,
     bypass_sweep,
     expansion_sweep,
+    hierarchy_sweep,
     issue_split_sweep,
     partition_sweep,
 )
@@ -37,6 +44,8 @@ __all__ = [
     "run_bypass_ablation",
     "ExpansionPoint",
     "run_code_expansion_ablation",
+    "HierarchyPoint",
+    "run_memory_hierarchy_ablation",
 ]
 
 
@@ -190,3 +199,72 @@ def run_code_expansion_ablation(
         )
         for fraction in fractions
     ]
+
+
+#: Metadata counters (reported by ``MemorySystem.stats``) surfaced as
+#: the hierarchy table's locality column, first match wins. Banked
+#: memory is deliberately absent: it captures no locality (its
+#: ``bank_conflict_rate`` measures stalls, the opposite), so it
+#: reports 0.0 here and keeps the conflict rate in ``result.meta``.
+_LOCALITY_METRICS = (
+    "bypass_hit_rate",
+    "cache_hit_rate",
+    "prefetch_hit_rate",
+)
+
+
+@dataclass(frozen=True)
+class HierarchyPoint:
+    program: str
+    memory: str  # variant label from HIERARCHY_MEMORY_VARIANTS
+    dm_cycles: int
+    swsm_cycles: int
+    dm_hit_rate: float  # locality captured under the DM (0 for fixed)
+
+    @property
+    def dm_advantage(self) -> float:
+        return self.swsm_cycles / self.dm_cycles
+
+
+def _locality(meta: dict) -> float:
+    for key in _LOCALITY_METRICS:
+        if key in meta:
+            return float(meta[key])
+    return 0.0
+
+
+def run_memory_hierarchy_ablation(
+    session: Session,
+    program: str,
+    window: int = 32,
+    memory_differential: int = 60,
+    variants: tuple = HIERARCHY_MEMORY_VARIANTS,
+) -> list[HierarchyPoint]:
+    """DM vs SWSM cycles under every memory-system model."""
+    sweep = hierarchy_sweep(
+        program,
+        window,
+        memory_differential,
+        variants=variants,
+        au_width=session.au_width,
+        du_width=session.du_width,
+        swsm_width=session.swsm_width,
+    )
+    by_key = {
+        (point.machine, point.memory): result
+        for point, result in session.run(sweep)
+    }
+    points = []
+    for label, spec in variants:
+        dm = by_key[("dm", spec)]
+        swsm = by_key[("swsm", spec)]
+        points.append(
+            HierarchyPoint(
+                program=program,
+                memory=label,
+                dm_cycles=dm.cycles,
+                swsm_cycles=swsm.cycles,
+                dm_hit_rate=_locality(dm.meta),
+            )
+        )
+    return points

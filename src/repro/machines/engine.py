@@ -12,34 +12,46 @@ The engine never walks per-instruction objects: programs are lowered
 once into flat parallel arrays (:mod:`repro.machines.lowered`, cached
 on the :class:`~repro.partition.machine_program.MachineProgram`), and
 the dispatch/issue loop runs over integer arrays and integer-encoded
-ready queues. Two loops share that form:
+ready queues. The memory system is queried exclusively through the
+batched :meth:`~repro.memory.MemorySystem.latencies` protocol — there
+is no per-access scalar call anywhere in the engine — and the model's
+declared capability picks the strategy:
 
-* the **fast loop** covers the common case — no probes and a memory
-  model with a uniform differential — folding the whole availability
-  rule into one precomputed per-gid latency table. On structurally
-  periodic programs (every loop-nest trace) it also detects a
-  repeating scheduler state and skips whole iterations at once; see
-  docs/timing.md, "Periodic steady state".
-* the **general loop** handles buffer/ESW probes and stateful memory
-  models (caches, bypass buffers), querying ``extra_latency`` access
-  by access in issue order.
+* **uniform** models (the paper's fixed differential) fold the whole
+  availability rule into one precomputed per-gid latency table; on
+  structurally periodic programs (every loop-nest trace) the fast loop
+  then also detects a repeating scheduler state and skips whole
+  iterations at once (docs/timing.md, "Periodic steady state");
+* **stateless** models (pure functions of the address) are queried
+  once, up front, for every memory access in the program, and the
+  answers become a per-gid latency table — the fast loop again;
+* **stateful** models (caches, bypass buffers, banked memories,
+  prefetchers) first get the *speculative schedule fixed point*
+  (:func:`_simulate_speculative`): guess a per-gid table, run at full
+  table speed (steady-state skip included), replay the model over the
+  resulting access stream, and verify the guess — exact whenever it
+  converges. Models that decline (or fail to converge) run in the
+  same fast loop with one chunked, issue-ordered query per unit per
+  cycle covering exactly the memory accesses issued that cycle.
 
-Both loops are event-driven — idle cycles are skipped — and
-cycle-exact: schedules are identical to the naive cycle-by-cycle
-reference (:mod:`repro.machines.reference`) and to the pre-SoA engine
-(:mod:`repro.machines.engine_objects`), a property the test-suite
-checks kernel by kernel.
+A separate probing loop carries the buffer/ESW probes; it uses the
+same chunked queries. All loops are event-driven — idle cycles are
+skipped — and cycle-exact: schedules are identical to the naive
+cycle-by-cycle reference (:mod:`repro.machines.reference`) and to the
+pre-SoA engine (:mod:`repro.machines.engine_objects`), a property the
+test-suite checks kernel by kernel and model by model.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
 
 from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
 from ..errors import SimulationDeadlockError, SimulationError
 from ..memory import (
+    CAP_STATELESS,
     FixedLatencyMemory,
     MemorySystem,
     OccupancyStats,
@@ -140,24 +152,50 @@ def simulate(
             raise SimulationError(f"no unit configuration for {unit.value}")
 
     low = program.lowered()
-    uniform = memory.uniform_extra_latency()
-    if (
-        uniform is not None
-        and not probe_buffers
-        and not probe_esw
-        and low.min_latency >= 1
-    ):
+    if not probe_buffers and not probe_esw and low.min_latency >= 1:
+        uniform = memory.uniform_extra_latency()
+        if uniform is None and not low.memory_gids:
+            uniform = 0  # no accesses: any model degenerates to uniform
+        if uniform is not None:
+            # One constant: precomputed table, steady-state skip armed.
+            addlat = low.addlat_for(latencies.mem_base + uniform)
+            return _simulate_fast(
+                low, program, unit_configs, memory, addlat, latencies,
+                collect_issue_times, max_cycles,
+                steady_ok=True, chunked=False,
+            )[0]
+        if memory.capability() == CAP_STATELESS:
+            # Pure function of the address: one up-front batched query
+            # answers every access in the program. The skip re-arms if
+            # the resulting table proves periodic.
+            return _simulate_fast(
+                low, program, unit_configs, memory,
+                _stateless_table(low, memory, latencies.mem_base),
+                latencies, collect_issue_times, max_cycles,
+                steady_ok=True, chunked=False,
+            )[0]
+        if (
+            memory.speculation_friendly()
+            and max_cycles is None
+            and low.total >= _SKIP_MIN_TOTAL
+            and _period_skip_enabled()
+            and low.single_memory_unit()
+            and low.steady() is not None
+        ):
+            result = _simulate_speculative(
+                low, program, unit_configs, memory, latencies,
+                collect_issue_times,
+            )
+            if result is not None:
+                return result
+        # Stateful-ordered: same fast loop, one chunked issue-order
+        # query per unit per cycle.
         return _simulate_fast(
-            low,
-            program,
-            unit_configs,
-            memory,
-            uniform,
-            latencies,
-            collect_issue_times,
-            max_cycles,
-        )
-    return _simulate_general(
+            low, program, unit_configs, memory, low.base_addlat, latencies,
+            collect_issue_times, max_cycles,
+            steady_ok=False, chunked=True,
+        )[0]
+    return _simulate_probing(
         low,
         program,
         unit_configs,
@@ -168,6 +206,116 @@ def simulate(
         collect_issue_times,
         max_cycles,
     )
+
+
+def _stateless_table(
+    low: LoweredProgram, memory: MemorySystem, mem_base: int
+) -> list[int]:
+    """Per-gid added-latency table from one batched stateless query."""
+    addr = low.addr
+    memory_gids = low.memory_gids
+    extras = memory.latencies([addr[gid] for gid in memory_gids], 0)
+    table = low.base_addlat.copy()
+    for gid, extra in zip(memory_gids, extras):
+        table[gid] = mem_base + extra
+    return table
+
+
+#: Fast-loop runs a speculative fixed point may spend before giving up
+#: and handing the program to the chunked live path.
+_SPEC_MAX_RUNS = 3
+
+
+def _simulate_speculative(
+    low: LoweredProgram,
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem,
+    latencies: LatencyModel,
+    collect_issue_times: bool,
+) -> SimulationResult | None:
+    """Schedule fixed point: decouple the stateful model from the loop.
+
+    A stateful model only feeds the schedule through its extras, and
+    its extras only depend on the issue-ordered access stream — so the
+    engine *guesses* a per-gid extras table, simulates at full
+    table-driven speed (the steady-state skip re-arms whenever the
+    table proves periodic), replays the model over the resulting
+    access stream in batched chunks, and verifies: if a run's access
+    schedule reproduces the one its table was derived from, the
+    guessed extras are exactly what a live in-loop model would have
+    produced, and the schedule is exact. On the paper's loop-nest
+    kernels locality models stabilise within one refinement, turning a
+    stateful simulation into two skip-accelerated runs plus one model
+    replay. No convergence within :data:`_SPEC_MAX_RUNS` returns None
+    (the caller falls back to the chunked live path); models whose
+    extras feed back into timing too strongly (bank queuing) opt out
+    up front via :meth:`MemorySystem.speculation_friendly`.
+    """
+    total = low.total
+    mem_base = latencies.mem_base
+    memory_gids = low.memory_gids
+    prev_access: list[int] | None = None
+    # Seed with the model's dominant answer so the first access
+    # schedule lands near the real one (one refinement to converge).
+    table = low.addlat_for(mem_base + memory.typical_extra_latency())
+    fill = None if collect_issue_times else memory_gids
+    for _ in range(_SPEC_MAX_RUNS):
+        result, issue = _simulate_fast(
+            low, program, unit_configs, memory, table, latencies,
+            collect_issue_times, None, steady_ok=True, chunked=False,
+            fill_gids=fill,
+        )
+        # The access stream, encoded issue-order first (cycle, gid).
+        access = [issue[gid] * total + gid for gid in memory_gids]
+        access.sort()
+        if access == prev_access:
+            # Same schedule as the run the table was replayed from:
+            # the table is self-consistent, the run is exact, and the
+            # model has already consumed exactly this access stream.
+            return result
+        memory.reset()
+        extras = _replay(low, memory, access)
+        refined = low.base_addlat.copy()
+        for encoded, extra in zip(access, extras):
+            refined[encoded % total] = mem_base + extra
+        if refined == table:
+            return result  # the guess was already a fixed point
+        table = refined
+        prev_access = access
+    memory.reset()
+    return None
+
+
+def _replay(
+    low: LoweredProgram, memory: MemorySystem, access: list[int]
+) -> list[int]:
+    """Feed an encoded access stream to a model, chunked as live issue.
+
+    ``access`` holds ``cycle * total + gid`` keys in issue order. Time
+    -insensitive models take the whole stream in one batched call;
+    time-sensitive ones get one chunk per cycle, with the cycle as
+    ``now`` — the same call pattern the chunked live path produces.
+    """
+    total = low.total
+    addr = low.addr
+    if not memory.time_sensitive():
+        return memory.latencies(
+            [addr[encoded % total] for encoded in access], 0
+        )
+    extras: list[int] = []
+    length = len(access)
+    i = 0
+    while i < length:
+        cycle = access[i] // total
+        j = i
+        while j < length and access[j] // total == cycle:
+            j += 1
+        extras.extend(memory.latencies(
+            [addr[access[k] % total] for k in range(i, j)], cycle
+        ))
+        i = j
+    return extras
 
 
 def _result(
@@ -199,22 +347,36 @@ def _simulate_fast(
     program: MachineProgram,
     unit_configs: dict[Unit, UnitConfig],
     memory: MemorySystem,
-    uniform_extra: int,
+    addlat: list[int],
     latencies: LatencyModel,
     collect_issue_times: bool,
     max_cycles: int | None,
-) -> SimulationResult:
-    """The hot path: uniform memory differential, no probes.
+    steady_ok: bool,
+    chunked: bool,
+    fill_gids: list[int] | None = None,
+) -> tuple[SimulationResult, list[int]]:
+    """The hot path: no probes, every latency baked or chunk-batched.
 
-    The whole availability rule collapses into ``addlat`` (one add per
-    issue), heaps hold plain integers (wakeups encode ``time * total +
-    gid``, which orders by time then age), and a matured batch that
-    fits the issue width bypasses the ready heap entirely.
+    ``addlat`` folds the availability rule into one add per issue,
+    heaps hold plain integers (wakeups encode ``time * total + gid``,
+    which orders by time then age), and a matured batch that fits the
+    issue width bypasses the ready heap entirely. With ``chunked``
+    (stateful memory models) the memory accesses of each issue batch
+    are answered by one :meth:`MemorySystem.latencies` call in issue
+    order; ``addlat`` then only covers the non-memory modes.
+    ``steady_ok`` arms the periodic steady-state skip, which stays
+    armed only if ``addlat`` itself proves periodic over the verified
+    region. Returns ``(result, issue_time_list)`` — the raw per-gid
+    issue times feed the speculative fixed point without paying for a
+    dict.
     """
     total = low.total
     units = low.units
     nu = len(units)
-    addlat = low.addlat_for(latencies.mem_base + uniform_extra)
+    is_mem = low.is_mem
+    addr_arr = low.addr
+    mem_base = latencies.mem_base
+    chunk_latencies = memory.latencies if chunked else None
     cons = low.cons
     unit_of = low.unit_index
     pending = low.n_srcs.copy()
@@ -237,11 +399,41 @@ def _simulate_fast(
 
     steady = None
     if (
-        max_cycles is None
+        steady_ok
+        and max_cycles is None
         and total >= _SKIP_MIN_TOTAL
         and _period_skip_enabled()
     ):
         steady = low.steady()
+    if steady is not None:
+        # The structural period ignores addresses, so a per-gid table
+        # (stateless or speculative extras) must itself repeat for the
+        # skip to stay cycle-exact. Uniform tables pass the one slice
+        # compare trivially; tables with a warmup prefix (cold-start
+        # misses) get their verified start raised past it instead —
+        # block-wise slice compares keep the scan at C speed.
+        period = steady.period
+        if addlat[steady.start: total - period] != addlat[
+            steady.start + period:
+        ]:
+            ok_from = total - period
+            start = steady.start
+            while ok_from > start:
+                probe = max(start, ok_from - 4096)
+                if addlat[probe: ok_from] == addlat[
+                    probe + period: ok_from + period
+                ]:
+                    ok_from = probe
+                    continue
+                for gid in range(ok_from - 1, probe - 1, -1):
+                    if addlat[gid] != addlat[gid + period]:
+                        ok_from = gid + 1
+                        break
+                break
+            if total - ok_from >= 3 * period + steady.dep_span + 64:
+                steady = replace(steady, start=ok_from)
+            else:
+                steady = None
     if steady is not None:
         period = steady.period
         next_boundary = steady.start + period
@@ -292,20 +484,50 @@ def _simulate_fast(
                 while len(batch) < budget and ready:
                     batch.append(heappop(ready))
             if batch:
-                for gid in batch:
-                    issue_time[gid] = t
-                    avail = t + addlat[gid]
-                    if avail > horizon:
-                        horizon = avail
-                    for c in cons[gid]:
-                        remaining = pending[c] - 1
-                        pending[c] = remaining
-                        if opmax[c] < avail:
-                            opmax[c] = avail
-                        if not remaining and dispatched[c]:
-                            heappush(
-                                wakeups[unit_of[c]], opmax[c] * total + c
-                            )
+                if chunk_latencies is None:
+                    for gid in batch:
+                        issue_time[gid] = t
+                        avail = t + addlat[gid]
+                        if avail > horizon:
+                            horizon = avail
+                        for c in cons[gid]:
+                            remaining = pending[c] - 1
+                            pending[c] = remaining
+                            if opmax[c] < avail:
+                                opmax[c] = avail
+                            if not remaining and dispatched[c]:
+                                heappush(
+                                    wakeups[unit_of[c]], opmax[c] * total + c
+                                )
+                else:
+                    # Stateful memory: the model must see accesses
+                    # oldest-first (heap order), so sort batches that
+                    # bypassed the ready heap, then answer the memory
+                    # subset with one issue-ordered chunked query.
+                    if len(batch) > 1:
+                        batch.sort()
+                    mem_gids = [g for g in batch if is_mem[g]]
+                    if mem_gids:
+                        extra_iter = iter(chunk_latencies(
+                            [addr_arr[g] for g in mem_gids], t
+                        ))
+                    for gid in batch:
+                        issue_time[gid] = t
+                        if is_mem[gid]:
+                            avail = t + mem_base + next(extra_iter)
+                        else:
+                            avail = t + addlat[gid]
+                        if avail > horizon:
+                            horizon = avail
+                        for c in cons[gid]:
+                            remaining = pending[c] - 1
+                            pending[c] = remaining
+                            if opmax[c] < avail:
+                                opmax[c] = avail
+                            if not remaining and dispatched[c]:
+                                heappush(
+                                    wakeups[unit_of[c]], opmax[c] * total + c
+                                )
                 occ -= len(batch)
                 any_progress = True
                 issued_cnt[u] += len(batch)
@@ -448,10 +670,14 @@ def _simulate_fast(
         # exactly one period's cycles after its one-period-earlier
         # counterpart, so an ascending sweep telescopes through the
         # whole skipped range (the counterpart is always either
-        # simulated or already filled).
+        # simulated or already filled). ``fill_gids`` restricts the
+        # sweep to the gids the caller needs (the speculative fixed
+        # point only reads memory accesses, which telescope among
+        # themselves — structural periodicity keeps g - period a
+        # memory gid whenever g is one).
         d_gid = skip_shift
         d_t = skip_dt
-        for g in range(total):
+        for g in range(total) if fill_gids is None else fill_gids:
             if issue_time[g] < 0:
                 issue_time[g] = issue_time[g - d_gid] + d_t
 
@@ -467,9 +693,10 @@ def _simulate_fast(
     issue_times = None
     if collect_issue_times:
         issue_times = {gid: issue_time[gid] for gid in range(total)}
-    return _result(
+    result = _result(
         low, program, memory, horizon, unit_stats, None, 0, 0.0, issue_times
     )
+    return result, issue_time
 
 
 def _fast_fingerprint(
@@ -527,7 +754,7 @@ def _fast_fingerprint(
 
 
 class _UState:
-    """Mutable scheduling state of one unit (general loop only)."""
+    """Mutable scheduling state of one unit (probing loop only)."""
 
     __slots__ = (
         "unit", "gids", "window", "width", "ptr", "occ",
@@ -552,7 +779,7 @@ class _UState:
         return self.occ == 0 and self.ptr >= len(self.gids)
 
 
-def _simulate_general(
+def _simulate_probing(
     low: LoweredProgram,
     program: MachineProgram,
     unit_configs: dict[Unit, UnitConfig],
@@ -563,11 +790,14 @@ def _simulate_general(
     collect_issue_times: bool,
     max_cycles: int | None,
 ) -> SimulationResult:
-    """The probing path: buffer/ESW probes and stateful memory models.
+    """The probing path: buffer/ESW probes, zero-latency programs.
 
-    Still array-driven, but queries ``memory.extra_latency`` access by
-    access (stateful models must see issue order) and keeps
-    dispatch-time floors so zero-latency instructions stay exact.
+    Still array-driven, and the memory system is still queried through
+    the batched protocol — one issue-ordered
+    :meth:`MemorySystem.latencies` chunk per unit per cycle. What sets
+    this loop apart from the fast one are the probes (buffer residency
+    intervals, ESW samples) and the dispatch-time floors that keep
+    zero-latency instructions exact.
     """
     total = low.total
     mode_arr = low.mode
@@ -594,7 +824,7 @@ def _simulate_general(
     state_of = [states[ui] for ui in low.unit_index] if total else []
 
     mem_base = latencies.mem_base
-    extra_latency = memory.extra_latency
+    chunk_latencies = memory.latencies
 
     # Buffer residency probe: arrival time of each delivering gid, and
     # (arrival, consume) intervals closed when the consumer issues.
@@ -631,47 +861,53 @@ def _simulate_general(
             while wakeup and wakeup[0][0] <= time:
                 heappush(ready, heappop(wakeup)[1])
             budget = state.width
-            issued_this_cycle = 0
+            batch: list[int] = []
             while budget and ready:
-                gid = heappop(ready)
+                batch.append(heappop(ready))
                 budget -= 1
-                issued_this_cycle += 1
-                issued_flag[gid] = 1
-                if issue_time is not None:
-                    issue_time[gid] = time
-                mode = mode_arr[gid]
-                if mode == MODE_MEMORY:
-                    avail = time + mem_base + extra_latency(
-                        addr_arr[gid], time
-                    )
-                    if probe_buffers and delivers[gid]:
-                        arrivals[gid] = avail
-                elif mode == MODE_ESTABLISH:
-                    avail = time + 1
-                else:
-                    avail = time + lat_arr[gid]
-                avail_arr[gid] = avail
-                state.occ -= 1
-                if probe_buffers and pair_arr[gid] >= 0:
-                    arrival = arrivals.pop(pair_arr[gid], None)
-                    if arrival is not None:
-                        intervals.append((arrival, time))
-                for consumer in cons[gid]:
-                    remaining = pending[consumer] - 1
-                    pending[consumer] = remaining
-                    if opmax[consumer] < avail:
-                        opmax[consumer] = avail
-                    if remaining == 0 and dispatched[consumer]:
-                        ready_at = opmax[consumer]
-                        floor = dispatch_time[consumer] + 1
-                        if ready_at < floor:
-                            ready_at = floor
-                        heappush(
-                            state_of[consumer].wakeup, (ready_at, consumer)
-                        )
-            if issued_this_cycle:
+            if batch:
+                # Heap pops come oldest-first, so the memory subset of
+                # the batch is already in issue order: answer it with
+                # one chunked query before applying the batch.
+                mem_gids = [g for g in batch if mode_arr[g] == MODE_MEMORY]
+                if mem_gids:
+                    extra_iter = iter(chunk_latencies(
+                        [addr_arr[g] for g in mem_gids], time
+                    ))
+                for gid in batch:
+                    issued_flag[gid] = 1
+                    if issue_time is not None:
+                        issue_time[gid] = time
+                    mode = mode_arr[gid]
+                    if mode == MODE_MEMORY:
+                        avail = time + mem_base + next(extra_iter)
+                        if probe_buffers and delivers[gid]:
+                            arrivals[gid] = avail
+                    elif mode == MODE_ESTABLISH:
+                        avail = time + 1
+                    else:
+                        avail = time + lat_arr[gid]
+                    avail_arr[gid] = avail
+                    state.occ -= 1
+                    if probe_buffers and pair_arr[gid] >= 0:
+                        arrival = arrivals.pop(pair_arr[gid], None)
+                        if arrival is not None:
+                            intervals.append((arrival, time))
+                    for consumer in cons[gid]:
+                        remaining = pending[consumer] - 1
+                        pending[consumer] = remaining
+                        if opmax[consumer] < avail:
+                            opmax[consumer] = avail
+                        if remaining == 0 and dispatched[consumer]:
+                            ready_at = opmax[consumer]
+                            floor = dispatch_time[consumer] + 1
+                            if ready_at < floor:
+                                ready_at = floor
+                            heappush(
+                                state_of[consumer].wakeup, (ready_at, consumer)
+                            )
                 any_progress = True
-                state.issued += issued_this_cycle
+                state.issued += len(batch)
                 state.icyc += 1
                 state.last = time
             dispatch_budget = state.width

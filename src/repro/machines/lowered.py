@@ -15,9 +15,12 @@ Lowering also computes two engine accelerator inputs:
 
 * a per-``(mem_base + extra)`` **effective latency table**
   (:meth:`LoweredProgram.addlat_for`), which batches the memory
-  system's ``extra_latency`` lookup into one precomputed array when
-  the model declares a uniform differential (see
-  :meth:`repro.memory.MemorySystem.uniform_extra_latency`);
+  system's per-access lookup into one precomputed array when the
+  model declares a uniform differential (see
+  :meth:`repro.memory.MemorySystem.uniform_extra_latency`); for
+  non-uniform models the engine instead combines ``base_addlat``,
+  ``memory_gids``/``is_mem`` and the batched
+  :meth:`repro.memory.MemorySystem.latencies` protocol;
 * the **steady-state signature** (:meth:`LoweredProgram.steady`): if
   the instruction stream is structurally periodic — as every loop-nest
   trace is — the engine can detect a repeating scheduler state and
@@ -122,6 +125,7 @@ class LoweredProgram:
         "orig_index",
         "base_addlat",
         "memory_gids",
+        "is_mem",
         "min_latency",
         "min_dep_offset",
         "dep_span",
@@ -152,6 +156,18 @@ class LoweredProgram:
                 table[gid] = mem_latency
             self._addlat_cache[mem_latency] = table
         return table
+
+    def single_memory_unit(self) -> bool:
+        """Whether every memory access lives on one unit.
+
+        The speculative fixed point replays chunked model queries from
+        the recorded access schedule; with a single issuing unit the
+        replay's per-cycle chunks provably match the live engine's
+        per-unit-per-cycle chunks (true for the DM — all accesses are
+        AU work — and trivially for the SWSM).
+        """
+        units = {self.unit_index[gid] for gid in self.memory_gids}
+        return len(units) <= 1
 
     def steady(self) -> SteadyState | None:
         """The verified structural period, or None (cached)."""
@@ -289,6 +305,9 @@ def lower_program(program: MachineProgram) -> LoweredProgram:
         1 if m == MODE_ESTABLISH else v for m, v in zip(low.mode, low.lat)
     ]
     low.memory_gids = [g for g in range(total) if low.mode[g] == MODE_MEMORY]
+    low.is_mem = bytearray(total)
+    for g in low.memory_gids:
+        low.is_mem[g] = 1
     low.min_latency = min_latency
     low.min_dep_offset = min_dep_offset
     low.dep_span = dep_span

@@ -1,19 +1,42 @@
-"""Memory-system models: fixed differential, caches, bypass, buffers."""
+"""Memory-system models, all speaking the batched engine protocol.
 
-from .base import MemorySystem
+Every model answers :meth:`~repro.memory.base.MemorySystem.latencies`
+— the struct-of-arrays engine's batched, issue-ordered query — and
+reports a capability (uniform / stateless / stateful) that tells the
+engine how aggressively it may batch. Models: the paper's fixed
+differential, LRU cache hierarchies, the future-work bypass buffer,
+interleaved banks with conflict queuing, and a stride/stream
+prefetcher.
+"""
+
+from .banked import BankedMemory
+from .base import CAP_STATEFUL, CAP_STATELESS, CAP_UNIFORM, MemorySystem
 from .buffers import OccupancyStats, occupancy_from_intervals
 from .bypass import BypassBuffer
-from .cache import DEFAULT_HIERARCHY, CacheLevel, CacheLevelConfig, CacheMemory
+from .cache import (
+    DEFAULT_HIERARCHY,
+    CacheLevel,
+    CacheLevelConfig,
+    CacheMemory,
+    hierarchy_levels,
+)
 from .fixed import FixedLatencyMemory
+from .prefetch import StreamPrefetcher
 
 __all__ = [
+    "CAP_STATEFUL",
+    "CAP_STATELESS",
+    "CAP_UNIFORM",
     "MemorySystem",
     "FixedLatencyMemory",
     "CacheMemory",
     "CacheLevel",
     "CacheLevelConfig",
     "DEFAULT_HIERARCHY",
+    "hierarchy_levels",
+    "BankedMemory",
     "BypassBuffer",
+    "StreamPrefetcher",
     "OccupancyStats",
     "occupancy_from_intervals",
 ]

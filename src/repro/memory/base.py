@@ -1,23 +1,62 @@
 """Memory-system interface used by the machine models.
 
-The paper abstracts the memory system to a fixed per-access cost: the
+The paper abstracts the memory system to a per-access cost: the
 *memory differential* (MD), the difference between a register access
-and a memory-system access. The machine models only ask one question —
-"how many extra cycles beyond the one-cycle base does this access
-take?" — so the interface is a single method. Stateful models (caches,
-bypass buffers) update themselves inside that call; the simulator
-guarantees calls happen in issue order, which is deterministic.
+and a memory-system access. The machine models ask one question — "how
+many extra cycles beyond the one-cycle base does each access take?" —
+and since the struct-of-arrays engine issues accesses in batches, the
+question is batched too: :meth:`MemorySystem.latencies` answers for a
+whole issue-order chunk in one call.
+
+Every model also reports a *capability*, which tells the engine how
+aggressively it may batch:
+
+* :data:`CAP_UNIFORM` — the answer never depends on the access (the
+  paper's fixed-differential model). The engine folds the cost into
+  one precomputed per-gid latency table and may skip whole loop
+  iterations (docs/timing.md, "Periodic steady state").
+* :data:`CAP_STATELESS` — the answer is a pure function of the address
+  (no history, no clock). The engine precomputes the whole program's
+  extra latencies in a single up-front :meth:`~MemorySystem.latencies`
+  call and never queries the model again.
+* :data:`CAP_STATEFUL` — the answer depends on access history (caches,
+  bypass buffers, bank queues). The engine queries once per unit per
+  cycle with the chunk of accesses issued that cycle, in issue order,
+  which is deterministic.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
-__all__ = ["MemorySystem"]
+__all__ = [
+    "CAP_UNIFORM",
+    "CAP_STATELESS",
+    "CAP_STATEFUL",
+    "MemorySystem",
+]
+
+#: Extra latency is address- and time-independent (one constant).
+CAP_UNIFORM = "uniform"
+
+#: Extra latency is a pure function of the address (batchable up front).
+CAP_STATELESS = "stateless"
+
+#: Extra latency depends on access history; must see issue order.
+CAP_STATEFUL = "stateful"
 
 
 class MemorySystem(abc.ABC):
-    """Answers access-latency queries in issue order."""
+    """Answers access-latency queries, batched, in issue order.
+
+    Subclasses must implement :meth:`extra_latency` (the scalar rule)
+    and should override :meth:`latencies` with a native batched loop —
+    the engine only ever calls the batched form, and the default
+    implementation is a thin scalar shim that pays one Python call per
+    access. Stateful models update themselves inside the call; the
+    engine guarantees chunks arrive in issue order.
+    """
 
     @abc.abstractmethod
     def extra_latency(self, addr: int, now: int) -> int:
@@ -29,9 +68,70 @@ class MemorySystem(abc.ABC):
                 an in-flight line that will arrive before it is needed).
         """
 
+    def latencies(self, addrs: Sequence[int], now: int) -> list[int]:
+        """Extra cycles for a chunk of accesses issued in cycle ``now``.
+
+        ``addrs`` lists the effective addresses in issue order; the
+        result is positionally aligned with it. This default is a
+        scalar shim so legacy models that only implement
+        :meth:`extra_latency` keep working; every in-repo model
+        overrides it with a single tight loop.
+        """
+        extra = self.extra_latency
+        return [extra(addr, now) for addr in addrs]
+
     @abc.abstractmethod
     def reset(self) -> None:
         """Forget all state so the model can be reused across runs."""
+
+    def capability(self) -> str:
+        """How the engine may batch this model's queries.
+
+        One of :data:`CAP_UNIFORM`, :data:`CAP_STATELESS` or
+        :data:`CAP_STATEFUL`. The default derives uniformity from
+        :meth:`uniform_extra_latency` and otherwise assumes the safe
+        stateful-ordered contract.
+        """
+        if self.uniform_extra_latency() is not None:
+            return CAP_UNIFORM
+        return CAP_STATEFUL
+
+    def typical_extra_latency(self) -> int:
+        """A representative extra latency, for speculative first guesses.
+
+        The speculative fixed point seeds its first run with a uniform
+        table of this value; a guess near the model's dominant answer
+        (usually the miss cost) makes the first access schedule close
+        to the real one and the fixed point converge in one
+        refinement. Purely a performance hint.
+        """
+        return 0
+
+    def time_sensitive(self) -> bool:
+        """Whether :meth:`latencies` reads its ``now`` argument.
+
+        Time-insensitive models (pure locality: caches, bypass
+        buffers over uniform backings) let the engine replay a whole
+        access stream in one batched call instead of one call per
+        cycle. Defaults to True — the safe assumption.
+        """
+        return True
+
+    def speculation_friendly(self) -> bool:
+        """Whether the engine should try the speculative fixed point.
+
+        The engine can simulate a stateful model by guessing a per-gid
+        extras table, running at full table speed, replaying the model
+        over the resulting access stream, and verifying the guess (see
+        ``_simulate_speculative`` in :mod:`repro.machines.engine`).
+        That converges when extras stabilise with the access pattern —
+        true for locality models — but oscillates for models whose
+        extras are dominated by fine-grained timing feedback (bank
+        queuing), which should return False to skip straight to the
+        chunked live path. Purely a performance hint: results are
+        identical either way.
+        """
+        return True
 
     def uniform_extra_latency(self) -> int | None:
         """The extra latency if it is address- and time-independent.
@@ -40,10 +140,18 @@ class MemorySystem(abc.ABC):
         fixed-differential model) return it here, which lets the engine
         batch the per-access lookup into one precomputed latency table
         and take its fast path (docs/timing.md, "Memory accesses").
-        Stateful models (caches, bypass buffers) return None — the
-        default — and are queried access by access in issue order.
+        All other models return None — the default.
         """
         return None
+
+    def stats(self) -> dict[str, object]:
+        """Model-specific counters folded into ``SimulationResult.meta``.
+
+        Stateful models report their hit/conflict counters here (e.g.
+        ``bypass_hit_rate``); the session merges the dict into the
+        result metadata after a simulation. Default: nothing.
+        """
+        return {}
 
     def describe(self) -> str:
         """One-line human-readable description for experiment records."""

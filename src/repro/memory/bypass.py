@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..errors import ConfigError
-from .base import MemorySystem
+from .base import CAP_STATEFUL, MemorySystem
 
 __all__ = ["BypassBuffer"]
 
@@ -54,6 +54,56 @@ class BypassBuffer(MemorySystem):
         self._lines[line] = None
         return self.backing.extra_latency(addr, now)
 
+    def latencies(self, addrs, now: int) -> list[int]:
+        # Buffer state advances access by access (a miss allocates its
+        # line immediately, so a later access in the same chunk hits),
+        # while the backing model sees exactly the miss subsequence in
+        # one nested batched call — the same query order the scalar
+        # path produces.
+        lines = self._lines
+        line_bytes = self.line_bytes
+        entries = self.entries
+        move_to_end = lines.move_to_end
+        popitem = lines.popitem
+        out = []
+        append = out.append
+        miss_slots: list[int] = []
+        miss_addrs: list[int] = []
+        hits = misses = 0
+        for addr in addrs:
+            line = addr // line_bytes
+            if line in lines:
+                move_to_end(line)
+                hits += 1
+                append(0)
+                continue
+            misses += 1
+            if len(lines) >= entries:
+                popitem(last=False)
+            lines[line] = None
+            miss_slots.append(len(out))
+            miss_addrs.append(addr)
+            append(0)
+        self.hits += hits
+        self.misses += misses
+        if miss_addrs:
+            extras = self.backing.latencies(miss_addrs, now)
+            for slot, extra in zip(miss_slots, extras):
+                out[slot] = extra
+        return out
+
+    def capability(self) -> str:
+        return CAP_STATEFUL
+
+    def typical_extra_latency(self) -> int:
+        # Cold misses dominate until the buffer warms up.
+        return self.backing.typical_extra_latency()
+
+    def time_sensitive(self) -> bool:
+        # The buffer itself never reads the clock; only the backing
+        # might (e.g. a banked backing).
+        return self.backing.time_sensitive()
+
     def reset(self) -> None:
         self._lines.clear()
         self.hits = 0
@@ -64,6 +114,13 @@ class BypassBuffer(MemorySystem):
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "bypass_hits": self.hits,
+            "bypass_misses": self.misses,
+            "bypass_hit_rate": self.hit_rate,
+        }
 
     def describe(self) -> str:
         return f"bypass({self.entries}x{self.line_bytes}B -> {self.backing.describe()})"

@@ -13,9 +13,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import ConfigError
-from .base import MemorySystem
+from .base import CAP_STATEFUL, MemorySystem
 
-__all__ = ["CacheLevelConfig", "CacheLevel", "CacheMemory"]
+__all__ = [
+    "CacheLevelConfig",
+    "CacheLevel",
+    "CacheMemory",
+    "hierarchy_levels",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,27 @@ class CacheLevel:
         return self.hits / total if total else 0.0
 
 
+def hierarchy_levels(
+    geometries: tuple[tuple[int, int, int, int], ...],
+) -> tuple[CacheLevelConfig, ...]:
+    """Level configs from plain ``(size, line, assoc, hit_extra)`` rows.
+
+    The declarative :class:`~repro.api.spec.MemorySpec` stores cache
+    geometry as nested tuples (TOML/JSON friendly); this turns them
+    into validated :class:`CacheLevelConfig` objects named L1, L2, ...
+    """
+    return tuple(
+        CacheLevelConfig(
+            name=f"L{depth + 1}",
+            size_bytes=size,
+            line_bytes=line,
+            associativity=assoc,
+            hit_extra=extra,
+        )
+        for depth, (size, line, assoc, extra) in enumerate(geometries)
+    )
+
+
 #: A small L1 + L2 hierarchy loosely shaped like a mid-1990s machine
 #: (the paper's Pentium Pro reference point: ~60-cycle L2 miss).
 DEFAULT_HIERARCHY = (
@@ -112,6 +138,17 @@ class CacheMemory(MemorySystem):
             raise ConfigError(f"miss_extra must be >= 0, got {miss_extra}")
         if not levels:
             raise ConfigError("at least one cache level is required")
+        # Every level is indexed by the same line id, so the hierarchy
+        # must share one line size — reject configs that would
+        # otherwise be silently mis-modeled (L2 sets computed from its
+        # own line size but probed with L1 line ids).
+        if len({config.line_bytes for config in levels}) > 1:
+            raise ConfigError(
+                "all cache levels must share one line_bytes, got "
+                + ", ".join(
+                    f"{c.name}={c.line_bytes}" for c in levels
+                )
+            )
         self.levels = [CacheLevel(config) for config in levels]
         self.miss_extra = miss_extra
         self._line_bytes = levels[0].line_bytes
@@ -127,9 +164,77 @@ class CacheMemory(MemorySystem):
             level.fill(line)
         return self.miss_extra
 
+    def latencies(self, addrs, now: int) -> list[int]:
+        # The L1-hit case — the hot one on locality-friendly kernels —
+        # is inlined with bound locals; deeper probes and full misses
+        # reuse the per-level lookup/fill helpers, keeping the counter
+        # bookkeeping identical to the scalar path.
+        line_bytes = self._line_bytes
+        levels = self.levels
+        l1 = levels[0]
+        l1_sets = l1._sets
+        l1_num_sets = l1.config.num_sets
+        l1_extra = l1.config.hit_extra
+        miss_extra = self.miss_extra
+        deeper = levels[1:]
+        out = []
+        append = out.append
+        l1_hits = 0
+        for addr in addrs:
+            line = addr // line_bytes
+            l1_set = l1_sets[line % l1_num_sets]
+            if line in l1_set:
+                l1_set.move_to_end(line)
+                l1_hits += 1
+                append(l1_extra)
+                continue
+            l1.misses += 1
+            for depth, level in enumerate(deeper, 1):
+                if level.lookup(line):
+                    for missed in levels[:depth]:
+                        missed.fill(line)
+                    append(level.config.hit_extra)
+                    break
+            else:
+                for level in levels:
+                    level.fill(line)
+                append(miss_extra)
+        l1.hits += l1_hits
+        return out
+
+    def capability(self) -> str:
+        return CAP_STATEFUL
+
+    def typical_extra_latency(self) -> int:
+        return self.miss_extra
+
+    def time_sensitive(self) -> bool:
+        return False
+
     def reset(self) -> None:
         for level in self.levels:
             level.reset()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served by *some* cache level.
+
+        Zero when the run made no accesses at all (division-safe).
+        """
+        first = self.levels[0]
+        accesses = first.hits + first.misses
+        if not accesses:
+            return 0.0
+        full_misses = self.levels[-1].misses
+        return (accesses - full_misses) / accesses
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "cache_hit_rate": self.hit_rate,
+            "cache_level_hit_rates": tuple(
+                level.hit_rate for level in self.levels
+            ),
+        }
 
     def describe(self) -> str:
         names = "+".join(level.config.name for level in self.levels)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..errors import ConfigError
-from .base import MemorySystem
+from .base import CAP_UNIFORM, MemorySystem
 
 __all__ = ["FixedLatencyMemory"]
 
@@ -25,6 +25,18 @@ class FixedLatencyMemory(MemorySystem):
 
     def extra_latency(self, addr: int, now: int) -> int:
         return self.memory_differential
+
+    def latencies(self, addrs, now: int) -> list[int]:
+        return [self.memory_differential] * len(addrs)
+
+    def capability(self) -> str:
+        return CAP_UNIFORM
+
+    def typical_extra_latency(self) -> int:
+        return self.memory_differential
+
+    def time_sensitive(self) -> bool:
+        return False
 
     def uniform_extra_latency(self) -> int:
         # Address-independent by definition: the engine batches the

@@ -14,15 +14,23 @@ from repro.api import (
     point_digest,
 )
 from repro.api.presets import (
+    PRESETS_NEEDING_PROGRAM,
     SWEEP_PRESETS,
     bypass_sweep,
+    hierarchy_sweep,
     issue_split_sweep,
     speedup_sweep,
     table1_sweep,
 )
 from repro.config import LatencyModel
 from repro.errors import ConfigError
-from repro.memory import BypassBuffer, CacheMemory, FixedLatencyMemory
+from repro.memory import (
+    BankedMemory,
+    BypassBuffer,
+    CacheMemory,
+    FixedLatencyMemory,
+    StreamPrefetcher,
+)
 
 
 class TestPoint:
@@ -59,10 +67,52 @@ class TestMemorySpec:
             MemorySpec(kind="bypass", entries=8).build(60), BypassBuffer
         )
         assert isinstance(MemorySpec(kind="cache").build(60), CacheMemory)
+        assert isinstance(MemorySpec(kind="banked").build(60), BankedMemory)
+        assert isinstance(
+            MemorySpec(kind="prefetch").build(60), StreamPrefetcher
+        )
+        assert isinstance(
+            MemorySpec(kind="hierarchy").build(60), CacheMemory
+        )
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigError):
             MemorySpec(kind="quantum")
+
+    def test_hierarchy_levels_configure_geometry(self):
+        spec = MemorySpec(
+            kind="hierarchy",
+            levels=((1024, 16, 1, 0), (4096, 16, 4, 7)),
+        )
+        built = spec.build(60)
+        assert [lv.config.associativity for lv in built.levels] == [1, 4]
+        assert built.levels[1].config.hit_extra == 7
+        assert built.miss_extra == 60
+
+    def test_levels_normalised_to_hashable_tuples(self):
+        spec = MemorySpec(kind="hierarchy", levels=[[1024, 16, 1, 0]])
+        assert spec.levels == ((1024, 16, 1, 0),)
+        assert hash(spec) == hash(
+            MemorySpec(kind="hierarchy", levels=((1024, 16, 1, 0),))
+        )
+
+    def test_malformed_level_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(kind="hierarchy", levels=((1024, 16, 1),))
+
+    def test_banked_fields_thread_through(self):
+        built = MemorySpec(
+            kind="banked", banks=2, bank_busy=7, line_bytes=16
+        ).build(10)
+        assert built.banks == 2
+        assert built.busy == 7
+        assert built.interleave_bytes == 16
+        assert built.extra == 10
+
+    def test_prefetch_fields_thread_through(self):
+        built = MemorySpec(kind="prefetch", streams=3, degree=4).build(60)
+        assert built.streams == 3
+        assert built.degree == 4
 
 
 class TestSweepGrid:
@@ -115,6 +165,24 @@ class TestSweepSerialisation:
             zipped={("au_width", "du_width"): [(3, 6), (4, 5)]},
         )
         restored = Sweep.from_dict(sweep.to_dict())
+        assert restored == sweep
+        assert list(restored.points()) == list(sweep.points())
+
+    def test_new_memory_kinds_round_trip(self):
+        sweep = Sweep.grid(
+            name="memory-zoo",
+            program=("trfd",),
+            memory=(
+                MemorySpec(kind="banked", banks=4, bank_busy=2),
+                MemorySpec(kind="prefetch", streams=2, degree=3),
+                MemorySpec(
+                    kind="hierarchy", levels=((1024, 16, 1, 0),)
+                ),
+            ),
+        )
+        restored = Sweep.from_dict(
+            json.loads(json.dumps(sweep.to_dict()))
+        )
         assert restored == sweep
         assert list(restored.points()) == list(sweep.points())
 
@@ -191,12 +259,19 @@ class TestPresets:
         for name, factory in SWEEP_PRESETS.items():
             sweep = (
                 factory("trfd")
-                if name in ("speedup", "ewr", "issue-split", "partition",
-                            "bypass", "expansion")
+                if name in PRESETS_NEEDING_PROGRAM
                 else factory()
             )
             assert len(sweep) > 0, name
             assert all(isinstance(p, Point) for p in sweep.points())
+
+    def test_hierarchy_sweep_crosses_machines_and_models(self):
+        sweep = hierarchy_sweep("trfd")
+        points = list(sweep.points())
+        assert {p.machine for p in points} == {"dm", "swsm"}
+        kinds = {p.memory.kind for p in points}
+        assert {"fixed", "bypass", "cache", "hierarchy", "banked",
+                "prefetch"} <= kinds
 
     def test_table1_covers_perfect_and_target_md(self):
         sweep = table1_sweep(programs=("trfd",), windows=(8, None))

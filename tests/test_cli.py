@@ -40,11 +40,26 @@ class TestCommands:
             assert name in out
 
     @pytest.mark.parametrize(
-        "study", ["issue-split", "partition", "bypass", "expansion"],
+        "study",
+        ["issue-split", "partition", "bypass", "expansion", "hierarchy"],
     )
     def test_ablations(self, capsys, study):
         assert main(["ablation", "--study", study, "--program", "trfd"]) == 0
         assert capsys.readouterr().out.strip()
+
+    def test_hierarchy_ablation_reports_every_model(self, capsys):
+        assert main(["ablation", "--study", "hierarchy",
+                     "--program", "trfd"]) == 0
+        out = capsys.readouterr().out
+        for label in ("fixed", "bypass", "cache", "hierarchy", "banked",
+                      "prefetch"):
+            assert label in out
+
+    def test_run_with_new_memory_kinds(self, capsys):
+        for kind in ("banked", "prefetch", "hierarchy"):
+            assert main(["run", "--program", "trfd", "--machine", "dm",
+                         "--memory", kind]) == 0
+            assert "cycles" in capsys.readouterr().out
 
     def test_explicit_scale_flag(self, capsys):
         assert main(["--scale", "tiny", "table1"]) == 0

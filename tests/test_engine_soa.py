@@ -35,7 +35,15 @@ from repro.experiments.scales import PRESETS
 from repro.kernels import PAPER_ORDER, build_kernel
 from repro.machines import simulate, simulate_naive, simulate_objects
 from repro.machines.engine import PERF_COUNTERS
-from repro.memory import BypassBuffer, CacheMemory, FixedLatencyMemory
+from repro.memory import (
+    CAP_STATELESS,
+    BankedMemory,
+    BypassBuffer,
+    CacheMemory,
+    FixedLatencyMemory,
+    MemorySystem,
+    StreamPrefetcher,
+)
 
 TINY = PRESETS["tiny"].scale
 SMALL = PRESETS["small"].scale
@@ -221,6 +229,115 @@ class TestSteadyStateAccelerator:
             assert_same_schedule(new, old)
 
 
+def stateful_model_zoo():
+    """Fresh instances of every stateful model, one factory per kind."""
+    yield "bypass", lambda: BypassBuffer(
+        FixedLatencyMemory(60), entries=32, line_bytes=1
+    )
+    yield "cache", lambda: CacheMemory(miss_extra=60)
+    yield "banked", lambda: BankedMemory(
+        extra=60, banks=4, interleave_bytes=32, busy=3
+    )
+    yield "prefetch", lambda: StreamPrefetcher(FixedLatencyMemory(60))
+
+
+class TestStatefulMemoryParity:
+    """Every stateful model, every machine: bit-identical to the legacy
+    engine. At ``small`` scale the kernels are large enough that the
+    speculative fixed point (bypass/cache/prefetch) and the chunked
+    live path (banked) are both exercised."""
+
+    @pytest.mark.parametrize("name", ["flo52q", "trfd", "mdg"])
+    @pytest.mark.parametrize(
+        "label", [label for label, _ in stateful_model_zoo()]
+    )
+    def test_small_kernels_match_object_engine(self, name, label):
+        make_memory = dict(stateful_model_zoo())[label]
+        for compiled, make_configs in compiled_variants(name, SMALL):
+            new = simulate(compiled, make_configs(32), make_memory(),
+                           collect_issue_times=True)
+            old = simulate_objects(compiled, make_configs(32), make_memory(),
+                                   collect_issue_times=True)
+            assert_same_schedule(new, old)
+
+    def test_stateful_runs_are_deterministic(self):
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        for label, make_memory in stateful_model_zoo():
+            first = simulate(compiled, dm_configs(32), make_memory(),
+                             collect_issue_times=True)
+            second = simulate(compiled, dm_configs(32), make_memory(),
+                              collect_issue_times=True)
+            assert_same_schedule(first, second)
+
+    def test_model_reset_between_reused_runs(self):
+        # The engine resets the model at entry, so reusing one instance
+        # across runs is identical to using fresh instances.
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        for label, make_memory in stateful_model_zoo():
+            shared = make_memory()
+            first = simulate(compiled, dm_configs(32), shared,
+                             collect_issue_times=True)
+            again = simulate(compiled, dm_configs(32), shared,
+                             collect_issue_times=True)
+            fresh = simulate(compiled, dm_configs(32), make_memory(),
+                             collect_issue_times=True)
+            assert_same_schedule(first, again)
+            assert_same_schedule(again, fresh)
+
+    def test_speculation_toggle_matches(self, monkeypatch):
+        # REPRO_PERIOD_SKIP=0 also disables the speculative fixed
+        # point; results must not change, only the route taken.
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        make_memory = dict(stateful_model_zoo())["bypass"]
+        fast = simulate(compiled, dm_configs(32), make_memory(),
+                        collect_issue_times=True)
+        monkeypatch.setenv("REPRO_PERIOD_SKIP", "0")
+        slow = simulate(compiled, dm_configs(32), make_memory(),
+                        collect_issue_times=True)
+        assert_same_schedule(fast, slow)
+
+    def test_stateful_stats_identical_across_paths(self, monkeypatch):
+        # Hit counters come from the replayed model on the speculative
+        # path and from live chunks otherwise; they must agree.
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        make_memory = dict(stateful_model_zoo())["bypass"]
+        spec_memory = make_memory()
+        simulate(compiled, dm_configs(32), spec_memory)
+        monkeypatch.setenv("REPRO_PERIOD_SKIP", "0")
+        live_memory = make_memory()
+        simulate(compiled, dm_configs(32), live_memory)
+        assert spec_memory.stats() == live_memory.stats()
+
+
+class ParityCheckedMemory(MemorySystem):
+    """Address-hash latencies, pure: exercises the stateless path."""
+
+    def extra_latency(self, addr: int, now: int) -> int:
+        return (addr >> 3) % 7
+
+    def latencies(self, addrs, now):
+        return [(addr >> 3) % 7 for addr in addrs]
+
+    def capability(self) -> str:
+        return CAP_STATELESS
+
+    def reset(self) -> None:
+        pass
+
+
+class TestStatelessCapability:
+    def test_stateless_matches_object_engine(self):
+        for name in ("flo52q", "mdg"):
+            for compiled, make_configs in compiled_variants(name, SMALL):
+                new = simulate(compiled, make_configs(32),
+                               ParityCheckedMemory(),
+                               collect_issue_times=True)
+                old = simulate_objects(compiled, make_configs(32),
+                                       ParityCheckedMemory(),
+                                       collect_issue_times=True)
+                assert_same_schedule(new, old)
+
+
 class TestGeneralLoopParity:
     """The probing path must match the legacy engine too."""
 
@@ -248,6 +365,20 @@ class TestGeneralLoopParity:
             old = simulate_objects(compiled, swsm_configs(32), make_memory(),
                                    collect_issue_times=True)
             assert_same_schedule(new, old)
+
+    def test_probes_with_stateful_memory(self):
+        # Probes force the batched probing loop even for stateful
+        # models; the chunked queries must not disturb the intervals.
+        compiled = DecoupledMachine.compile(build_kernel("mdg", TINY))
+        for label, make_memory in stateful_model_zoo():
+            new = simulate(compiled, dm_configs(32), make_memory(),
+                           probe_buffers=True, probe_esw=True,
+                           collect_issue_times=True)
+            old = simulate_objects(compiled, dm_configs(32), make_memory(),
+                                   probe_buffers=True, probe_esw=True,
+                                   collect_issue_times=True)
+            assert_same_schedule(new, old)
+            assert new.buffer_occupancy is not None
 
     def test_uniform_memory_contract(self):
         assert FixedLatencyMemory(17).uniform_extra_latency() == 17

@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
+from repro.api import Session
 from repro.experiments import Lab
 from repro.kernels import build_synthetic_stream
+
+
+class TestDeprecation:
+    def test_lab_warns_on_construction(self):
+        with pytest.warns(DeprecationWarning, match="Lab is deprecated"):
+            Lab(scale=500)
+
+    def test_lab_still_is_a_session(self):
+        with pytest.warns(DeprecationWarning):
+            lab = Lab(scale=500)
+        assert isinstance(lab, Session)
+
+    def test_session_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session(scale=500)
 
 
 class TestCaching:

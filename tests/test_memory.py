@@ -1,4 +1,4 @@
-"""Unit tests for the memory-system models."""
+"""Unit tests for the memory-system models and the batched protocol."""
 
 from __future__ import annotations
 
@@ -7,9 +7,16 @@ import pytest
 from repro import BypassBuffer, ConfigError, FixedLatencyMemory
 from repro.errors import MetricError
 from repro.memory import (
+    CAP_STATEFUL,
+    CAP_STATELESS,
+    CAP_UNIFORM,
+    BankedMemory,
     CacheLevelConfig,
     CacheMemory,
+    MemorySystem,
     OccupancyStats,
+    StreamPrefetcher,
+    hierarchy_levels,
     occupancy_from_intervals,
 )
 
@@ -132,6 +139,243 @@ class TestBypassBuffer:
             BypassBuffer(FixedLatencyMemory(0), entries=0)
         with pytest.raises(ConfigError):
             BypassBuffer(FixedLatencyMemory(0), line_bytes=0)
+
+
+class TestBatchedProtocol:
+    """latencies() must mirror scalar extra_latency access for access."""
+
+    def _models(self):
+        yield FixedLatencyMemory(60)
+        yield BypassBuffer(FixedLatencyMemory(60), entries=4, line_bytes=8)
+        yield CacheMemory(miss_extra=60)
+        yield BankedMemory(extra=60, banks=2, interleave_bytes=8, busy=3)
+        yield StreamPrefetcher(FixedLatencyMemory(60), line_bytes=8)
+
+    def test_batched_equals_scalar_sequence(self):
+        addrs = [0, 8, 16, 8, 64, 0, 24, 32, 40, 48, 0, 8]
+        for batched in self._models():
+            twin = next(  # a fresh instance of the same model
+                m for m in self._models() if type(m) is type(batched)
+            )
+            chunked = batched.latencies(addrs[:5], 3)
+            chunked += batched.latencies(addrs[5:], 9)
+            one_by_one = [twin.extra_latency(a, 3) for a in addrs[:5]]
+            one_by_one += [twin.extra_latency(a, 9) for a in addrs[5:]]
+            assert chunked == one_by_one, type(batched).__name__
+
+    def test_scalar_only_legacy_model_gets_default_batching(self):
+        class Legacy(MemorySystem):
+            def extra_latency(self, addr, now):
+                return (addr % 4) + now
+
+            def reset(self):
+                pass
+
+        assert Legacy().latencies([0, 1, 2, 9], 5) == [5, 6, 7, 6]
+        assert Legacy().capability() == CAP_STATEFUL
+
+    def test_capabilities(self):
+        assert FixedLatencyMemory(5).capability() == CAP_UNIFORM
+        assert CacheMemory().capability() == CAP_STATEFUL
+        assert BypassBuffer(FixedLatencyMemory(5)).capability() \
+            == CAP_STATEFUL
+        assert BankedMemory().capability() == CAP_STATEFUL
+        assert StreamPrefetcher(FixedLatencyMemory(5)).capability() \
+            == CAP_STATEFUL
+        assert CAP_STATELESS not in (
+            m.capability() for m in self._models()
+        )
+
+    def test_time_sensitivity_report(self):
+        assert not FixedLatencyMemory(5).time_sensitive()
+        assert not CacheMemory().time_sensitive()
+        assert not BypassBuffer(FixedLatencyMemory(5)).time_sensitive()
+        assert BankedMemory().time_sensitive()
+        assert StreamPrefetcher(FixedLatencyMemory(5)).time_sensitive()
+
+    def test_speculation_hints(self):
+        assert BypassBuffer(FixedLatencyMemory(5)).speculation_friendly()
+        assert not BankedMemory().speculation_friendly()
+
+    def test_typical_extra_latency_propagates(self):
+        assert FixedLatencyMemory(42).typical_extra_latency() == 42
+        assert BypassBuffer(
+            FixedLatencyMemory(42)
+        ).typical_extra_latency() == 42
+        assert CacheMemory(miss_extra=17).typical_extra_latency() == 17
+
+
+class TestZeroAccessRates:
+    """No accesses must mean rate 0.0 everywhere, never a ZeroDivision."""
+
+    def test_cache_level_hit_rate(self):
+        cache = CacheMemory(miss_extra=60)
+        assert cache.levels[0].hit_rate == 0.0
+
+    def test_cache_aggregate_hit_rate(self):
+        assert CacheMemory(miss_extra=60).hit_rate == 0.0
+
+    def test_bypass_hit_rate(self):
+        assert BypassBuffer(FixedLatencyMemory(60)).hit_rate == 0.0
+
+    def test_prefetch_hit_rate(self):
+        assert StreamPrefetcher(FixedLatencyMemory(60)).hit_rate == 0.0
+
+    def test_banked_rates(self):
+        banked = BankedMemory()
+        assert banked.conflict_rate == 0.0
+        assert banked.mean_wait == 0.0
+
+    def test_rates_zero_again_after_reset(self):
+        cache = CacheMemory(miss_extra=60)
+        cache.latencies([0, 0, 64], 0)
+        assert cache.hit_rate > 0
+        cache.reset()
+        assert cache.hit_rate == 0.0
+
+
+class TestCacheEdgeGeometries:
+    def test_direct_mapped(self):
+        # assoc=1: two lines in the same set always evict each other.
+        level = CacheLevelConfig(name="L1", size_bytes=64, line_bytes=16,
+                                 associativity=1, hit_extra=0)
+        cache = CacheMemory(levels=(level,), miss_extra=60)
+        assert cache.extra_latency(0, 0) == 60
+        assert cache.extra_latency(0, 1) == 0
+        assert cache.extra_latency(64, 2) == 60  # same set, evicts 0
+        assert cache.extra_latency(0, 3) == 60
+
+    def test_fully_associative(self):
+        # One set holding every way: no conflict misses, only capacity.
+        level = CacheLevelConfig(name="L1", size_bytes=64, line_bytes=16,
+                                 associativity=4, hit_extra=0)
+        cache = CacheMemory(levels=(level,), miss_extra=60)
+        assert level.num_sets == 1
+        for i in range(4):
+            cache.extra_latency(16 * i, i)
+        assert all(cache.extra_latency(16 * i, 9) == 0 for i in range(4))
+        cache.extra_latency(1024, 20)  # capacity eviction of LRU (line 0)
+        assert cache.extra_latency(0, 21) == 60
+
+    def test_mixed_line_sizes_rejected(self):
+        levels = hierarchy_levels(((64, 16, 1, 0), (256, 32, 2, 5)))
+        with pytest.raises(ConfigError, match="line_bytes"):
+            CacheMemory(levels=levels, miss_extra=60)
+
+    def test_hierarchy_levels_builder(self):
+        levels = hierarchy_levels(((64, 16, 1, 0), (256, 16, 2, 5)))
+        assert [lv.name for lv in levels] == ["L1", "L2"]
+        assert levels[1].hit_extra == 5
+        cache = CacheMemory(levels=levels, miss_extra=60)
+        assert "L1+L2" in cache.describe()
+
+
+class TestBankedMemory:
+    def test_no_conflict_without_reuse(self):
+        banked = BankedMemory(extra=10, banks=4, interleave_bytes=8, busy=4)
+        assert banked.latencies([0, 8, 16, 24], 0) == [10, 10, 10, 10]
+        assert banked.conflict_rate == 0.0
+
+    def test_same_bank_queues(self):
+        banked = BankedMemory(extra=10, banks=4, interleave_bytes=8, busy=4)
+        # Three same-cycle accesses to bank 0: waits 0, 4, 8.
+        assert banked.latencies([0, 32, 64], 0) == [10, 14, 18]
+        assert banked.conflicts == 2
+        assert banked.mean_wait == pytest.approx(4.0)
+
+    def test_bank_frees_with_time(self):
+        banked = BankedMemory(extra=10, banks=4, interleave_bytes=8, busy=4)
+        banked.latencies([0], 0)
+        assert banked.latencies([0], 100) == [10]  # long idle: no wait
+
+    def test_zero_busy_is_the_fixed_model(self):
+        banked = BankedMemory(extra=60, banks=2, busy=0)
+        assert banked.latencies([0, 0, 0], 0) == [60, 60, 60]
+
+    def test_reset(self):
+        banked = BankedMemory(extra=10, banks=1, interleave_bytes=8, busy=9)
+        banked.latencies([0, 8], 0)
+        banked.reset()
+        assert banked.latencies([0], 0) == [10]
+        assert banked.accesses == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BankedMemory(banks=0)
+        with pytest.raises(ConfigError):
+            BankedMemory(busy=-1)
+        with pytest.raises(ConfigError):
+            BankedMemory(extra=-1)
+
+    def test_describe_and_stats(self):
+        banked = BankedMemory(extra=10, banks=4)
+        assert "banked(4x" in banked.describe()
+        assert "bank_conflict_rate" in banked.stats()
+
+
+class TestStreamPrefetcher:
+    def _prefetcher(self, **kw) -> StreamPrefetcher:
+        kw.setdefault("entries", 16)
+        kw.setdefault("line_bytes", 8)
+        kw.setdefault("streams", 2)
+        kw.setdefault("degree", 2)
+        return StreamPrefetcher(FixedLatencyMemory(60), **kw)
+
+    def test_confirmed_stride_prefetches_ahead(self):
+        pf = self._prefetcher()
+        # Misses at lines 0, 1 train stride 1; the miss at line 2
+        # confirms it and prefetches lines 3 and 4.
+        assert pf.extra_latency(0, 0) == 60
+        assert pf.extra_latency(8, 50) == 60
+        assert pf.extra_latency(16, 100) == 60
+        assert pf.prefetches == 2
+        # Lines 3 and 4 arrived at 100 + 60 = 160; at 200 they're free.
+        assert pf.extra_latency(24, 200) == 0
+        assert pf.extra_latency(32, 201) == 0
+        assert pf.hit_rate == pytest.approx(0.4)
+
+    def test_late_prefetch_pays_partial_wait(self):
+        pf = self._prefetcher()
+        pf.extra_latency(0, 0)
+        pf.extra_latency(8, 5)
+        pf.extra_latency(16, 10)  # confirm: prefetch line 3, arrival 70
+        assert pf.extra_latency(24, 30) == 40  # 70 - 30 still in flight
+        assert pf.late_hits == 1
+
+    def test_irregular_stream_never_prefetches(self):
+        pf = self._prefetcher()
+        for i, addr in enumerate((0, 1000, 4000, 2000, 9000)):
+            assert pf.extra_latency(addr, i) == 60
+        assert pf.prefetches == 0
+        assert pf.hit_rate == 0.0
+
+    def test_two_streams_tracked_independently(self):
+        pf = self._prefetcher()
+        far = 1 << 20
+        for i, addr in enumerate((0, far, 8, far + 8, 16, far + 16)):
+            pf.extra_latency(addr, i)
+        assert pf.prefetches == 4  # both streams confirmed stride 1
+
+    def test_reset(self):
+        pf = self._prefetcher()
+        pf.extra_latency(0, 0)
+        pf.extra_latency(8, 1)
+        pf.reset()
+        assert pf.hits == pf.misses == pf.prefetches == 0
+        assert pf.extra_latency(16, 2) == 60  # buffer emptied
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self._prefetcher(streams=0)
+        with pytest.raises(ConfigError):
+            self._prefetcher(degree=0)
+        with pytest.raises(ConfigError):
+            self._prefetcher(entries=0)
+
+    def test_describe_and_stats(self):
+        pf = self._prefetcher()
+        assert "prefetch(streams=2" in pf.describe()
+        assert "prefetch_hit_rate" in pf.stats()
 
 
 class TestOccupancy:

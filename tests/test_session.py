@@ -213,3 +213,34 @@ class TestBypassMeta:
         assert fresh.meta["bypass_hit_rate"] > 0
         cached = Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
         assert cached.meta == fresh.meta
+
+
+class TestStatefulMemoryMeta:
+    """Each model's counters land in result.meta, and cached re-runs —
+    which build (and reset) a fresh model instance per simulation —
+    reproduce them exactly."""
+
+    @pytest.mark.parametrize(
+        ("spec", "key"),
+        [
+            (MemorySpec(kind="cache"), "cache_hit_rate"),
+            (MemorySpec(kind="banked"), "bank_conflict_rate"),
+            (MemorySpec(kind="prefetch"), "prefetch_hit_rate"),
+        ],
+    )
+    def test_stats_travel_and_survive_cache_round_trips(
+        self, tmp_path, spec, key
+    ):
+        point = Point(
+            program="flo52q", machine="dm", window=16,
+            memory_differential=60, memory=spec,
+        )
+        session = Session(scale=SCALE, cache_dir=tmp_path)
+        fresh = session.evaluate(point)
+        assert key in fresh.meta
+        memory_hit = session.evaluate(point)
+        assert memory_hit.meta == fresh.meta
+        disk_hit = Session(scale=SCALE, cache_dir=tmp_path).evaluate(point)
+        assert disk_hit.meta == fresh.meta
+        resimulated = Session(scale=SCALE).evaluate(point)
+        assert resimulated.meta == fresh.meta
