@@ -1,0 +1,59 @@
+"""Generalization study: the paper's conclusions beyond its seven kernels.
+
+Generates a small corpus from the loop-nest grammar (5 kernels, one
+each from the first five access-pattern families), verifies it
+regenerates bit-identically, simulates every kernel on both machines,
+and prints the band-classification table — the CI benchmark smoke
+step runs exactly this at tiny scale. The structural assertions hold
+at every scale: a pointer chase can never hide latency, and a clean
+streaming kernel always can.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_table
+from repro.experiments.generalization import run_generalization_study
+from repro.workloads import generate_corpus, verify_corpus
+
+#: The CI smoke corpus: generate-and-simulate five kernels.
+_SMOKE_SIZE = 5
+
+
+def test_generalization_smoke_corpus(lab, preset, benchmark):
+    corpus = generate_corpus(_SMOKE_SIZE, seed=0, scale=preset.scale,
+                             name=f"smoke-{_SMOKE_SIZE}")
+    assert verify_corpus(corpus) == []
+    result = run_once(
+        benchmark, lambda: run_generalization_study(lab, corpus)
+    )
+    rows = [
+        [row.name, row.family, row.predicted_band, f"{row.dm_lhe:.3f}",
+         f"{row.swsm_lhe:.3f}", row.dm_band,
+         "yes" if row.structure_holds else "no"]
+        for row in result.rows
+    ]
+    print()
+    print(render_table(
+        ["kernel", "family", "pred", "DM LHE", "SWSM LHE", "DM band",
+         "holds"],
+        rows,
+        title=f"Generalization smoke corpus (scale={preset.name})",
+    ))
+    assert result.kernels == _SMOKE_SIZE
+    for row in result.rows:
+        assert 0.0 < row.dm_lhe <= 1.0
+        assert 0.0 < row.swsm_lhe <= 1.0
+
+
+def test_generalization_family_extremes(lab, preset, benchmark):
+    """Chases never hide latency; clean streams always do."""
+    names = ("gen:chase:1", "gen:chase:2", "gen:streaming:0")
+    result = run_once(
+        benchmark, lambda: run_generalization_study(lab, list(names))
+    )
+    by_name = {row.name: row for row in result.rows}
+    for name in ("gen:chase:1", "gen:chase:2"):
+        assert by_name[name].dm_band == "poor"
+    assert by_name["gen:streaming:0"].dm_lhe > 0.5

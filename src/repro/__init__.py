@@ -63,6 +63,7 @@ from .experiments import (
     run_code_expansion_ablation,
     run_esw_study,
     run_ewr_figure,
+    run_generalization_study,
     run_issue_split_ablation,
     run_memory_hierarchy_ablation,
     run_partition_ablation,
@@ -111,8 +112,20 @@ from .partition import (
     lower_swsm,
     partition_dm,
 )
+from .workloads import (
+    FAMILIES,
+    Corpus,
+    WorkloadProfile,
+    build_generated,
+    characterize,
+    generate_corpus,
+    generated_name,
+    load_manifest,
+    verify_corpus,
+    write_manifest,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BankedMemory",
@@ -120,10 +133,12 @@ __all__ = [
     "BypassBuffer",
     "CacheMemory",
     "ConfigError",
+    "Corpus",
     "DEFAULT_LATENCIES",
     "DEFAULT_MEMORY_DIFFERENTIAL",
     "DMConfig",
     "DecoupledMachine",
+    "FAMILIES",
     "FixedLatencyMemory",
     "IRValidationError",
     "Instruction",
@@ -160,18 +175,24 @@ __all__ = [
     "Unit",
     "UnitConfig",
     "Value",
+    "WorkloadProfile",
     "analyze_decoupling",
+    "build_generated",
     "build_kernel",
     "build_synthetic_stream",
+    "characterize",
     "classify_band",
     "compute_address_slice",
     "equivalent_window_ratio",
     "find_equivalent_window",
+    "generate_corpus",
+    "generated_name",
     "get_kernel",
     "get_machine",
     "lhe",
     "list_kernels",
     "list_machines",
+    "load_manifest",
     "load_sweep",
     "lower_swsm",
     "partition_dm",
@@ -180,11 +201,14 @@ __all__ = [
     "run_code_expansion_ablation",
     "run_esw_study",
     "run_ewr_figure",
+    "run_generalization_study",
     "run_issue_split_ablation",
     "run_memory_hierarchy_ablation",
     "run_partition_ablation",
     "run_speedup_figure",
     "run_table1",
     "speedup",
+    "verify_corpus",
+    "write_manifest",
     "__version__",
 ]

@@ -23,6 +23,7 @@ from .presets import (
     esw_sweep,
     ewr_dm_sweep,
     expansion_sweep,
+    generalization_sweep,
     hierarchy_sweep,
     issue_split_sweep,
     partition_sweep,
@@ -44,6 +45,7 @@ __all__ = [
     "esw_sweep",
     "ewr_dm_sweep",
     "expansion_sweep",
+    "generalization_sweep",
     "hierarchy_sweep",
     "issue_split_sweep",
     "load_sweep",

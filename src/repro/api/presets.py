@@ -33,6 +33,7 @@ __all__ = [
     "esw_sweep",
     "ewr_dm_sweep",
     "expansion_sweep",
+    "generalization_sweep",
     "hierarchy_sweep",
     "issue_split_sweep",
     "partition_sweep",
@@ -247,6 +248,41 @@ def hierarchy_sweep(
     )
 
 
+def generalization_sweep(
+    programs: str | tuple[str, ...],
+    window: int = 32,
+    memory_differential: int = DEFAULT_MEMORY_DIFFERENTIAL,
+    **base: object,
+) -> Sweep:
+    """The generalization study's grid: both machines, every program.
+
+    Three operating points per (program, machine), expressed as a
+    zipped (window, differential) axis: the unlimited window at md=0
+    (the perfect baseline) and at the study differential — Table 1's
+    LHE construction — plus the limited window at the differential,
+    the figure-4-6 regime of the DM-vs-SWSM comparison. The fourth
+    grid corner (limited window, md=0) is deliberately absent: the
+    study never reads it, and over a 100-kernel corpus it would be
+    hundreds of discarded simulations.
+    """
+    program_axis: object = (
+        programs if isinstance(programs, str) else tuple(programs)
+    )
+    return Sweep.grid(
+        name="generalization",
+        program=program_axis,
+        machine=("dm", "swsm"),
+        zipped={
+            ("window", "memory_differential"): (
+                (None, 0),
+                (None, memory_differential),
+                (window, memory_differential),
+            ),
+        },
+        **base,
+    )
+
+
 def expansion_sweep(
     program: str,
     window: int = 32,
@@ -282,6 +318,7 @@ SWEEP_PRESETS = {
     "bypass": bypass_sweep,
     "expansion": expansion_sweep,
     "hierarchy": hierarchy_sweep,
+    "generalization": generalization_sweep,
 }
 
 #: Presets whose factory takes the program as first positional argument.
@@ -293,4 +330,5 @@ PRESETS_NEEDING_PROGRAM = (
     "bypass",
     "expansion",
     "hierarchy",
+    "generalization",
 )

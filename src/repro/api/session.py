@@ -87,6 +87,7 @@ class Session:
         self._programs: dict[tuple[str, float], Program] = {}
         self._custom: dict[str, Program] = {}
         self._compiled: dict[tuple[str, float, str, str], object] = {}
+        self._profiles: dict[str, object] = {}
         self._results: dict[Point, SimulationResult] = {}
         self.stats = {
             "evaluated": 0,
@@ -112,6 +113,7 @@ class Session:
         """
         self._custom[program.name] = program
         self._programs.pop((program.name, 0.0), None)
+        self._profiles.pop(program.name, None)
 
     def _program_for(self, name: str, expansion: float) -> Program:
         key = (name, expansion)
@@ -124,6 +126,15 @@ class Session:
             else:
                 self._programs[key] = build_kernel(name, self.scale)
         return self._programs[key]
+
+    def profile(self, name: str):
+        """The static workload profile of a kernel at this session's
+        scale (cached) — see :func:`repro.workloads.characterize`."""
+        if name not in self._profiles:
+            from ..workloads import characterize
+
+            self._profiles[name] = characterize(self.program(name))
+        return self._profiles[name]
 
     # -- compilation -------------------------------------------------------------
 

@@ -213,6 +213,10 @@ def point_digest(
 
     Used as the disk-cache key: any change to the spec, the kernel
     scale, the latency model or the cache format yields a new digest.
+    For generated programs (``gen:<family>:<seed>``) the grammar
+    version joins the key, because a grammar bump changes what those
+    names *build* — cached results from an older grammar must not be
+    served for them.
     """
     doc = {
         "format": CACHE_FORMAT,
@@ -220,6 +224,11 @@ def point_digest(
         "scale": scale,
         "latencies": asdict(latencies),
     }
+    # Case-insensitive to match get_kernel's name normalisation.
+    if point.program.lower().startswith("gen:"):
+        from ..workloads.grammar import GRAMMAR_VERSION
+
+        doc["grammar"] = GRAMMAR_VERSION
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

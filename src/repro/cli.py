@@ -9,6 +9,15 @@ Examples::
     python -m repro ablation --study bypass --program flo52q
     python -m repro kernels
 
+Generated workloads (the loop-nest grammar, corpus manifests and the
+beyond-the-paper generalization study)::
+
+    python -m repro generate --family gather --seed 7 --count 3
+    python -m repro corpus --size 100 --seed 0
+    python -m repro corpus --verify corpus/default-100.toml
+    python -m repro ablation --study generalization --corpus corpus/default-100.toml
+    python -m repro run --program gen:stencil:42 --machine dm
+
 Generic declarative sweeps (any grid, parallel, disk-cached)::
 
     python -m repro --jobs 4 --cache-dir .repro-cache sweep --preset fig4
@@ -21,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .api import (
     PRESETS_NEEDING_PROGRAM,
@@ -48,8 +58,19 @@ from .experiments import (
     run_speedup_figure,
     run_table1,
 )
+from .experiments.generalization import run_generalization_study
 from .kernels import get_kernel, list_kernels
 from .partition import analyze_decoupling
+from .workloads import (
+    FAMILIES,
+    build_generated,
+    characterize,
+    generate_corpus,
+    generated_name,
+    load_manifest,
+    verify_corpus,
+    write_manifest,
+)
 
 __all__ = ["main"]
 
@@ -103,11 +124,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "--study",
         choices=(
             "issue-split", "partition", "bypass", "expansion", "hierarchy",
+            "generalization",
         ),
         default="issue-split",
     )
     ablation.add_argument("--program", default="flo52q")
+    ablation.add_argument(
+        "--corpus",
+        default=None,
+        metavar="FILE",
+        help="corpus manifest for --study generalization "
+        "(default: generate one in memory)",
+    )
+    ablation.add_argument(
+        "--size",
+        type=int,
+        default=100,
+        help="generated corpus size when no --corpus manifest is given",
+    )
+    ablation.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corpus seed when no --corpus manifest is given",
+    )
     sub.add_parser("kernels", help="list workload models and their structure")
+
+    generate = sub.add_parser(
+        "generate",
+        help="sample kernels from the loop-nest grammar and characterize them",
+    )
+    generate.add_argument(
+        "--family",
+        choices=(*FAMILIES, "all"),
+        default="all",
+        help="access-pattern family to sample (default: one of each)",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="kernels per family, at consecutive seeds",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="write or verify a corpus manifest of generated kernels",
+    )
+    corpus.add_argument(
+        "--verify",
+        metavar="FILE",
+        default=None,
+        help="verify that every kernel of a manifest regenerates "
+        "bit-identically",
+    )
+    corpus.add_argument("--size", type=int, default=100)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument(
+        "--name", default=None, help="corpus name (default: default-<size>)"
+    )
+    corpus.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated family subset (default: all six)",
+    )
+    corpus.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="manifest path, .toml or .json "
+        "(default: corpus/<name>.toml)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -291,7 +379,7 @@ def _print_kernels(session: Session) -> None:
         rows.append([
             name, len(program), f"{program.stats.memory_fraction:.2f}",
             f"{report.au_fraction:.2f}", report.self_loads,
-            report.lod_events, spec.band,
+            report.lod_events, spec.resolved_band,
         ])
     print(render_table(
         ["kernel", "instrs", "mem frac", "AU frac", "self-loads",
@@ -299,6 +387,130 @@ def _print_kernels(session: Session) -> None:
         rows,
         title="Workload models (PERFECT Club substitutes)",
     ))
+
+
+def _print_generalization(session: Session, preset, args) -> None:
+    if args.corpus:
+        corpus = load_manifest(args.corpus)
+    else:
+        corpus = generate_corpus(
+            args.size, seed=args.seed, scale=preset.scale
+        )
+    result = run_generalization_study(session, corpus)
+    rows = []
+    for family in result.families:
+        bands = family.band_counts
+        rows.append([
+            family.family, family.kernels, bands["high"],
+            bands["moderate"], bands["poor"],
+            f"{family.prediction_hits}/{family.kernels}",
+            f"{family.mean_dm_lhe:.3f}", f"{family.mean_swsm_lhe:.3f}",
+            f"{family.dm_wins}/{family.kernels}",
+            f"{family.holds}/{family.kernels}",
+        ])
+    print(render_table(
+        ["family", "n", "high", "mod", "poor", "pred hit", "DM LHE",
+         "SWSM LHE", "DM wins", "holds"],
+        rows,
+        title=f"Generalization study: {corpus.name} "
+              f"({result.kernels} kernels, scale={preset.name}, "
+              f"window={result.window}, md={result.memory_differential})",
+    ))
+    print(
+        f"paper crossover structure holds for {result.holds}/"
+        f"{result.kernels} kernels ({result.holds_fraction:.0%}); "
+        f"characterizer band agreement "
+        f"{result.prediction_agreement:.0%}"
+    )
+
+
+def _print_generate(session: Session, args) -> None:
+    families = FAMILIES if args.family == "all" else (args.family,)
+    rows = []
+    for family in families:
+        for offset in range(max(1, args.count)):
+            seed = args.seed + offset
+            program = build_generated(family, seed, session.scale)
+            profile = characterize(program)
+            rows.append([
+                generated_name(family, seed), len(program),
+                f"{profile.memory_fraction:.2f}",
+                f"{profile.fp_fraction:.2f}",
+                f"{profile.lod_rate:.2f}",
+                f"{profile.self_load_rate:.2f}",
+                f"{profile.load_chain_fraction:.3f}",
+                profile.predicted_band,
+            ])
+    print(render_table(
+        ["kernel", "instrs", "mem frac", "fp frac", "LOD/ki",
+         "self-ld/ki", "load chain", "pred band"],
+        rows,
+        title="Generated kernels (loop-nest grammar, static profile)",
+    ))
+
+
+def _corpus_command(session: Session, preset, args) -> int:
+    if args.verify:
+        corpus = load_manifest(args.verify)
+        problems = verify_corpus(corpus)
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH {problem}")
+            print(
+                f"{corpus.name}: {len(problems)} of {len(corpus)} kernels "
+                f"failed to regenerate bit-identically"
+            )
+            return 1
+        print(
+            f"{corpus.name}: all {len(corpus)} kernels regenerate "
+            f"bit-identically at scale {corpus.scale}"
+        )
+        return 0
+    families = (
+        tuple(f.strip() for f in args.families.split(","))
+        if args.families else FAMILIES
+    )
+    corpus = generate_corpus(
+        args.size,
+        seed=args.seed,
+        scale=preset.scale,
+        families=families,
+        name=args.name or "",
+    )
+    out = args.out or f"corpus/{corpus.name}.toml"
+    if args.out is None and Path(out).exists():
+        try:
+            existing = load_manifest(out)
+        except ReproError:
+            # Unreadable or from an incompatible grammar/schema: this
+            # command is exactly how such a manifest gets regenerated.
+            existing = None
+        if existing is not None and (
+            existing.seed, existing.scale, existing.families
+        ) != (corpus.seed, corpus.scale, corpus.families):
+            print(
+                f"refusing to overwrite {out}: it pins a different "
+                f"corpus (seed {existing.seed}, scale {existing.scale},"
+                f" {len(existing.families)} families); pass --out to "
+                f"write elsewhere"
+            )
+            return 1
+    path = write_manifest(corpus, out)
+    rows = [
+        [family, len(entries),
+         sum(1 for e in entries if e.predicted_band == "high"),
+         sum(1 for e in entries if e.predicted_band == "moderate"),
+         sum(1 for e in entries if e.predicted_band == "poor")]
+        for family, entries in corpus.by_family().items()
+    ]
+    print(render_table(
+        ["family", "kernels", "pred high", "pred mod", "pred poor"],
+        rows,
+        title=f"Corpus {corpus.name}: {len(corpus)} kernels at "
+              f"scale {corpus.scale} (seed {corpus.seed})",
+    ))
+    print(f"manifest written to {path}")
+    return 0
 
 
 def _build_sweep(args: argparse.Namespace) -> Sweep:
@@ -410,9 +622,16 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif command == "esw":
         _print_esw(session)
     elif command == "ablation":
-        _print_ablation(session, args.study, args.program)
+        if args.study == "generalization":
+            _print_generalization(session, preset, args)
+        else:
+            _print_ablation(session, args.study, args.program)
     elif command == "kernels":
         _print_kernels(session)
+    elif command == "generate":
+        _print_generate(session, args)
+    elif command == "corpus":
+        return _corpus_command(session, preset, args)
     elif command == "sweep":
         _print_sweep(session, _build_sweep(args))
     elif command == "run":

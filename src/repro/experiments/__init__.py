@@ -22,6 +22,12 @@ from .ablations import (
 from .esw_study import EswStudyRow, run_esw_study
 from .ewr_figures import EwrCurve, EwrFigure, run_ewr_figure
 from .formatting import render_plot, render_table
+from .generalization import (
+    FamilyGeneralization,
+    GeneralizationResult,
+    GeneralizationRow,
+    run_generalization_study,
+)
 from .lab import UNLIMITED, Lab
 from .scales import (
     EWR_DIFFERENTIALS,
@@ -46,6 +52,9 @@ __all__ = [
     "EwrFigure",
     "ExpansionPoint",
     "FIGURE_PROGRAMS",
+    "FamilyGeneralization",
+    "GeneralizationResult",
+    "GeneralizationRow",
     "HierarchyPoint",
     "IssueSplitPoint",
     "Lab",
@@ -69,6 +78,7 @@ __all__ = [
     "run_code_expansion_ablation",
     "run_esw_study",
     "run_ewr_figure",
+    "run_generalization_study",
     "run_issue_split_ablation",
     "run_memory_hierarchy_ablation",
     "run_partition_ablation",

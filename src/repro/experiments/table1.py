@@ -79,7 +79,7 @@ def run_table1(
             Table1Row(
                 program=name,
                 lhe_by_window=lhe_by_window,
-                expected_band=get_kernel(name).band,
+                expected_band=get_kernel(name).resolved_band,
             )
         )
     return Table1Result(

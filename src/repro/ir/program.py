@@ -8,6 +8,7 @@ sanity checks in the test-suite.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from functools import cached_property
@@ -92,6 +93,26 @@ class Program(Sequence[Instruction]):
             loads=counts[OpClass.LOAD],
             stores=counts[OpClass.STORE],
         )
+
+    def digest(self) -> str:
+        """Stable SHA-256 content address of the trace.
+
+        Covers the name and every instruction field (opcode, operands,
+        addresses, memory-ordering edges, tags) but not ``meta``, so two
+        builds are equal exactly when they execute identically. Corpus
+        manifests record this digest, and the registry purity tests use
+        it to enforce the determinism contract of
+        :mod:`repro.kernels.base`.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.name.encode("utf-8"))
+        for inst in self.instructions:
+            row = (
+                inst.index, inst.opcode.value, inst.srcs, inst.addr_src,
+                inst.addr, inst.mem_dep, inst.tag,
+            )
+            hasher.update(repr(row).encode("utf-8"))
+        return hasher.hexdigest()
 
     # -- dependence helpers ---------------------------------------------------
 

@@ -1,6 +1,9 @@
 """Workload models: the seven PERFECT-club kernels plus synthetics.
 
-Importing this package registers the seven paper kernels.
+Importing this package registers the seven paper kernels and installs
+the generative-workload resolver, so ``gen:<family>:<seed>`` names
+(see :mod:`repro.workloads`) resolve through :func:`get_kernel` —
+including inside process-pool workers.
 """
 
 from . import adm, dyfesm, flo52q, mdg, qcd, track, trfd  # noqa: F401 - register
@@ -11,8 +14,12 @@ from .base import (
     get_kernel,
     list_kernels,
     register,
+    register_resolver,
 )
 from .synthetic import SyntheticParams, build_synthetic_stream
+
+# Installs the gen:<family>:<seed> resolver (import side effect).
+from .. import workloads  # noqa: F401,E402  - resolver registration
 
 __all__ = [
     "PAPER_ORDER",
@@ -23,4 +30,5 @@ __all__ = [
     "get_kernel",
     "list_kernels",
     "register",
+    "register_resolver",
 ]

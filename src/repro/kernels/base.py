@@ -11,6 +11,16 @@ program in.
 
 Kernels are pure functions of ``(scale, seed)`` and produce identical
 traces for identical arguments.
+
+Besides the statically registered specs, the registry supports
+**dynamic resolvers** — callables that synthesise a spec from a
+structured name. The generative workload grammar
+(:mod:`repro.workloads`) registers one for ``gen:<family>:<seed>``
+names, which makes unbounded families of generated kernels first-class
+citizens of every consumer of :func:`get_kernel` (sessions, sweeps,
+the disk cache, process-pool workers) without enumerating them.
+Resolved specs must honour the same purity contract: the resulting
+program is a pure function of ``(name, scale, seed)``.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ __all__ = [
     "Band",
     "KernelSpec",
     "register",
+    "register_resolver",
     "get_kernel",
     "list_kernels",
     "build_kernel",
@@ -48,7 +59,10 @@ class KernelSpec:
         title: the PERFECT Club program modelled.
         description: which loops/structures the model captures.
         band: expected latency-hiding band ("high" / "moderate" /
-            "poor") from the paper's Table 1 grouping.
+            "poor") from the paper's Table 1 grouping — or a zero-arg
+            callable computing it on demand, so dynamically resolved
+            specs (whose band prediction needs a probe build) stay
+            cheap to resolve. Read through :attr:`resolved_band`.
         build: ``(scale, seed) -> Program``; ``scale`` is the
             approximate architectural instruction count.
         default_seed: seed used when the caller does not pass one.
@@ -57,9 +71,18 @@ class KernelSpec:
     name: str
     title: str
     description: str
-    band: Band
+    band: Band | Callable[[], Band]
     build: Callable[[int, int], Program]
     default_seed: int = 1997
+
+    @property
+    def resolved_band(self) -> Band:
+        """The band, forcing (and memoising) a lazy prediction."""
+        band = self.band
+        if callable(band):
+            band = band()
+            object.__setattr__(self, "band", band)
+        return band
 
     def __call__(self, scale: int, seed: int | None = None) -> Program:
         if scale < 100:
@@ -71,6 +94,12 @@ class KernelSpec:
 
 _REGISTRY: dict[str, KernelSpec] = {}
 
+#: Dynamic resolvers: each maps a name to a spec, or None to decline.
+_RESOLVERS: list[Callable[[str], KernelSpec | None]] = []
+
+#: Memoised dynamic resolutions, so a name always yields the same spec.
+_RESOLVED: dict[str, KernelSpec] = {}
+
 
 def register(spec: KernelSpec) -> KernelSpec:
     """Add a kernel to the registry (idempotent for identical specs)."""
@@ -81,13 +110,41 @@ def register(spec: KernelSpec) -> KernelSpec:
     return spec
 
 
+def register_resolver(
+    resolver: Callable[[str], KernelSpec | None],
+) -> Callable[[str], KernelSpec | None]:
+    """Add a dynamic name resolver (idempotent for the same callable).
+
+    Resolvers are consulted, in registration order, for names that are
+    not statically registered. A resolver returns a
+    :class:`KernelSpec` for names it owns and ``None`` for the rest;
+    successful resolutions are memoised, so repeated lookups of one
+    name return one spec object.
+    """
+    if resolver not in _RESOLVERS:
+        _RESOLVERS.append(resolver)
+    return resolver
+
+
 def get_kernel(name: str) -> KernelSpec:
-    """Look up a kernel by name (case-insensitive)."""
-    try:
-        return _REGISTRY[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KernelError(f"unknown kernel {name!r}; known kernels: {known}") from None
+    """Look up a kernel by name (case-insensitive).
+
+    Statically registered kernels win; otherwise the dynamic resolvers
+    get a chance to synthesise a spec from the name (e.g. generated
+    ``gen:<family>:<seed>`` workloads).
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    if key in _RESOLVED:
+        return _RESOLVED[key]
+    for resolver in _RESOLVERS:
+        spec = resolver(key)
+        if spec is not None:
+            _RESOLVED[key] = spec
+            return spec
+    known = ", ".join(sorted(_REGISTRY))
+    raise KernelError(f"unknown kernel {name!r}; known kernels: {known}") from None
 
 
 def list_kernels() -> list[str]:

@@ -1,0 +1,61 @@
+"""Generative workload subsystem: grammar, characterizer, corpora.
+
+Three layers (see docs/architecture.md, "Generative workloads"):
+
+* :mod:`repro.workloads.grammar` — a seeded loop-nest grammar that
+  samples programs from six access-pattern families; importing this
+  package installs the ``gen:<family>:<seed>`` resolver into the
+  kernel registry, making generated kernels first-class ``program=``
+  axes everywhere;
+* :mod:`repro.workloads.characterize` — the static characterizer:
+  dependence-distance histograms, crossing density, load-chain depth
+  and a predicted latency-hiding band, no simulation required;
+* :mod:`repro.workloads.corpus` — named, versioned TOML/JSON corpus
+  manifests whose content digests prove bit-identical regeneration.
+
+The generalization study (:func:`repro.experiments.
+run_generalization_study`, ``repro ablation --study generalization``)
+re-derives the paper's Table-1-style band classification over a whole
+corpus on both machines.
+"""
+
+from .characterize import WorkloadProfile, characterize
+from .corpus import (
+    MANIFEST_VERSION,
+    Corpus,
+    CorpusEntry,
+    generate_corpus,
+    load_manifest,
+    register_corpus,
+    verify_corpus,
+    write_manifest,
+)
+from .grammar import (
+    FAMILIES,
+    GRAMMAR_VERSION,
+    GenParams,
+    build_generated,
+    generated_name,
+    parse_generated_name,
+    sample_params,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GRAMMAR_VERSION",
+    "MANIFEST_VERSION",
+    "Corpus",
+    "CorpusEntry",
+    "GenParams",
+    "WorkloadProfile",
+    "build_generated",
+    "characterize",
+    "generate_corpus",
+    "generated_name",
+    "load_manifest",
+    "parse_generated_name",
+    "register_corpus",
+    "sample_params",
+    "verify_corpus",
+    "write_manifest",
+]

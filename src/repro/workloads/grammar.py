@@ -1,0 +1,502 @@
+"""A seeded loop-nest grammar: unbounded generated workloads.
+
+The paper's evidence base is seven fixed PERFECT-club models. This
+module generates arbitrarily many more: programs are *sampled* from
+six access-pattern families —
+
+* ``streaming`` — unit-stride loads/stores with optional carried FP
+  chains (the vectorisable common case);
+* ``strided`` — the same skeleton over non-unit strides;
+* ``gather`` — indirect references through an index table, so every
+  data address depends on an AU self-load (TRFD/FLO52Q-style gating,
+  made pervasive);
+* ``chase`` — a pointer chase: each load's address depends on the
+  *previous* load's value, the degenerate case no amount of address
+  slip can hide;
+* ``stencil`` — multi-tap neighbourhood reads with a carried
+  read-after-write on the output array (DYFESM-style memory
+  dependences);
+* ``reduction`` — deep serial accumulation chains with optional
+  DU -> AU feedback, where the reduced value periodically steers
+  addressing (TRACK-style loss of decoupling, at tunable density).
+
+Each family crosses its skeleton with distributions over
+inter-iteration dependence distance, FP chain depth, memory-op mix and
+AU<->DU feedback density (:func:`sample_params`). Programs compile
+through the ordinary :class:`~repro.ir.KernelBuilder`, so a generated
+kernel is a pure function of ``(family, seed, scale)`` — the same
+determinism contract as the seven hand-written models, enforced by the
+registry purity tests.
+
+Generated kernels are addressed by *structured names*,
+``gen:<family>:<seed>``, resolved on demand through the kernel
+registry's dynamic-resolver hook (:func:`repro.kernels.base.
+register_resolver`); importing :mod:`repro.kernels` installs the
+resolver. Any consumer of kernel names — ``Point``/``Sweep`` axes,
+``Session`` caching, process-pool workers, the CLI — therefore accepts
+generated kernels with no further registration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from ..ir import KernelBuilder, Program
+from ..kernels.base import KernelSpec, register_resolver
+
+__all__ = [
+    "FAMILIES",
+    "GRAMMAR_VERSION",
+    "GenParams",
+    "build_generated",
+    "ensure_family",
+    "generated_name",
+    "parse_generated_name",
+    "sample_params",
+]
+
+#: The access-pattern families the grammar samples from.
+FAMILIES = (
+    "streaming", "strided", "gather", "chase", "stencil", "reduction",
+)
+
+#: Bump when the sampling distributions or emitters change shape; part
+#: of program metadata so manifests can detect grammar drift.
+GRAMMAR_VERSION = 1
+
+#: Scale at which a kernel is probed to predict its latency-hiding
+#: band when its spec is resolved (cheap, static analysis only).
+_PROBE_SCALE = 2_000
+
+_NAME_PREFIX = "gen"
+
+
+def ensure_family(family: str) -> str:
+    """Validate a family name (shared by every entry point)."""
+    if family not in FAMILIES:
+        raise KernelError(
+            f"unknown workload family {family!r}; "
+            f"known families: {', '.join(FAMILIES)}"
+        )
+    return family
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """The sampled structure of one generated loop nest.
+
+    Attributes:
+        family: access-pattern family (one of :data:`FAMILIES`).
+        seed: grammar seed the parameters were sampled from.
+        loads: data loads per iteration.
+        stores: data stores per iteration.
+        chain_depth: serial FP operations per iteration (0 = no FP).
+        parallel_fp: additional independent FP operations per iteration.
+        dep_distance: inter-iteration dependence distance of the
+            carried FP accumulators (1 = each iteration depends on the
+            previous one).
+        stride: address stride, in elements, of the streaming families.
+        gate_group: if positive, one AU self-load every ``gate_group``
+            iterations gates those iterations' addressing.
+        feedback_period: if positive, every ``feedback_period``
+            iterations the FP result is converted to an integer and
+            steers subsequent addressing (a DU -> AU crossing).
+        taps: neighbourhood size of the stencil family (odd, >= 3).
+        store_period: iterations between stores of the reduction
+            family's accumulator.
+    """
+
+    family: str
+    seed: int
+    loads: int = 1
+    stores: int = 0
+    chain_depth: int = 0
+    parallel_fp: int = 0
+    dep_distance: int = 1
+    stride: int = 1
+    gate_group: int = 0
+    feedback_period: int = 0
+    taps: int = 3
+    store_period: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_family(self.family)
+        if self.loads < 1:
+            raise KernelError("generated kernels need at least one load")
+        for name in ("stores", "chain_depth", "parallel_fp", "gate_group",
+                     "feedback_period", "store_period"):
+            if getattr(self, name) < 0:
+                raise KernelError(f"{name} must be >= 0")
+        if self.dep_distance < 1 or self.stride < 1:
+            raise KernelError("dep_distance and stride must be >= 1")
+        if self.taps < 3 or self.taps % 2 == 0:
+            raise KernelError(f"taps must be odd and >= 3, got {self.taps}")
+        if self.feedback_period and not self.chain_depth:
+            raise KernelError("feedback needs an FP chain to convert")
+
+    @property
+    def per_item(self) -> int:
+        """Architectural instructions per iteration (amortised extras
+        — gates, feedback converts, periodic stores — excluded)."""
+        if self.family == "gather":
+            return 3 + 2 * self.loads + self.chain_depth \
+                + self.parallel_fp + 2 * self.stores
+        if self.family == "chase":
+            return 3 + self.chain_depth + 2 * self.stores
+        if self.family == "stencil":
+            return 4 * self.taps + 5
+        if self.family == "reduction":
+            return 1 + 2 * self.loads + self.chain_depth
+        # streaming / strided
+        return 1 + 2 * self.loads + self.chain_depth \
+            + self.parallel_fp + 2 * self.stores
+
+
+def generated_name(family: str, seed: int) -> str:
+    """The registry name of one generated kernel."""
+    ensure_family(family)
+    if seed < 0:
+        raise KernelError(f"generated kernel seed must be >= 0, got {seed}")
+    return f"{_NAME_PREFIX}:{family}:{seed}"
+
+
+def parse_generated_name(name: str) -> tuple[str, int] | None:
+    """Parse ``gen:<family>:<seed>`` into ``(family, seed)``.
+
+    Returns ``None`` for names outside the ``gen:`` namespace; raises
+    :class:`KernelError` for malformed names inside it (so typos fail
+    loudly instead of falling through to "unknown kernel").
+    """
+    parts = name.split(":")
+    if parts[0] != _NAME_PREFIX:
+        return None
+    if len(parts) != 3:
+        raise KernelError(
+            f"malformed generated kernel name {name!r}; "
+            f"expected gen:<family>:<seed>"
+        )
+    family, seed_text = parts[1], parts[2]
+    ensure_family(family)
+    # Only the canonical spelling is a valid name: aliases such as
+    # "007" or non-ASCII digits would cache and digest as different
+    # kernels than the program they build.
+    if (not seed_text.isascii() or not seed_text.isdigit()
+            or str(int(seed_text)) != seed_text):
+        raise KernelError(
+            f"generated kernel seed must be a canonical non-negative "
+            f"integer, got {seed_text!r} in {name!r}"
+        )
+    return family, int(seed_text)
+
+
+def sample_params(family: str, seed: int) -> GenParams:
+    """Sample one family's structural knobs (pure in ``(family, seed)``)."""
+    ensure_family(family)
+    rng = random.Random(f"repro:gen:{family}:{seed}")
+    if family in ("streaming", "strided"):
+        feedback = rng.choice((0, 0, 0, 0, 48, 64))
+        chain = rng.choice((0, 1, 2, 4, 6))
+        return GenParams(
+            family=family,
+            seed=seed,
+            loads=rng.randint(1, 4),
+            stores=rng.randint(0, 2),
+            chain_depth=max(1, chain) if feedback else chain,
+            parallel_fp=rng.randint(0, 2),
+            dep_distance=rng.choice((1, 2, 4, 8)),
+            stride=1 if family == "streaming"
+            else rng.choice((2, 3, 5, 8, 17)),
+            gate_group=rng.choice((0, 0, 0, 16, 32)),
+            feedback_period=feedback,
+        )
+    if family == "gather":
+        feedback = rng.choice((0, 0, 0, 0, 0, 64))
+        chain = rng.choice((0, 1, 2, 4))
+        return GenParams(
+            family=family,
+            seed=seed,
+            loads=rng.randint(1, 3),
+            stores=rng.randint(0, 1),
+            chain_depth=max(1, chain) if feedback else chain,
+            parallel_fp=rng.randint(0, 1),
+            dep_distance=rng.choice((1, 2, 4)),
+            feedback_period=feedback,
+        )
+    if family == "chase":
+        return GenParams(
+            family=family,
+            seed=seed,
+            loads=1,
+            stores=rng.randint(0, 1),
+            chain_depth=rng.randint(0, 3),
+        )
+    if family == "stencil":
+        return GenParams(
+            family=family,
+            seed=seed,
+            stores=1,
+            taps=rng.choice((3, 5, 9)),
+            dep_distance=rng.choice((4, 8, 16)),
+        )
+    # reduction
+    feedback = rng.choice((0, 0, 8, 16, 32, 64))
+    return GenParams(
+        family=family,
+        seed=seed,
+        loads=rng.randint(1, 3),
+        chain_depth=rng.randint(2, 8),
+        dep_distance=rng.choice((1, 1, 2, 4)),
+        store_period=rng.choice((8, 32)),
+        feedback_period=feedback,
+    )
+
+
+def build_generated(family: str, seed: int, scale: int) -> Program:
+    """Build one generated kernel — pure in ``(family, seed, scale)``."""
+    params = sample_params(family, seed)
+    builder = KernelBuilder(generated_name(family, seed), seed=seed)
+    items = max(2, scale // params.per_item)
+    _EMITTERS[family](builder, params, items)
+    builder.set_meta(
+        model=f"generated {family} loop nest",
+        family=family,
+        items=items,
+        params=repr(params),
+        grammar=GRAMMAR_VERSION,
+    )
+    return builder.build()
+
+
+# -- family emitters ----------------------------------------------------------
+
+
+def _carried_fp(
+    builder: KernelBuilder,
+    p: GenParams,
+    accs: list,
+    item: int,
+    loaded: list,
+    chain_tag: str = "chain",
+):
+    """One iteration's FP work, shared by the streaming-shaped families.
+
+    Starts the serial chain from the accumulator carried
+    ``dep_distance`` iterations back (or the first load, first time
+    round), emits ``chain_depth`` dependent adds plus ``parallel_fp``
+    independent multiplies, and rotates the accumulator ring. This is
+    the single implementation governing the carried-dependence
+    semantics of every family that uses it — and therefore their
+    digests.
+    """
+    value = accs[item % p.dep_distance]
+    if value is None:
+        value = loaded[0]
+    for depth in range(p.chain_depth):
+        value = builder.fadd(value, loaded[depth % len(loaded)],
+                             tag=chain_tag)
+    if p.chain_depth:
+        accs[item % p.dep_distance] = value
+    for k in range(p.parallel_fp):
+        builder.fmul(loaded[k % len(loaded)], loaded[0], tag="parfp")
+    return value
+
+
+def _feedback_convert(
+    builder: KernelBuilder, p: GenParams, item: int, value, feedback
+):
+    """Periodic DU -> AU feedback: convert the FP result for addressing."""
+    if p.feedback_period and (item + 1) % p.feedback_period == 0:
+        return builder.cvt_f2i(value, tag="feedback")
+    return feedback
+
+
+def _emit_stream(builder: KernelBuilder, p: GenParams, items: int) -> None:
+    """Streaming/strided: affine references, carried FP accumulators."""
+    src = builder.array("src", items * p.loads * p.stride + 1)
+    dst = builder.array("dst", max(1, items * max(1, p.stores)))
+    gates = builder.array("gates", items) if p.gate_group else None
+    accs: list = [None] * p.dep_distance
+    iv = gate = feedback = None
+    for item in range(items):
+        if gates is not None and item % p.gate_group == 0:
+            gate = builder.load(gates, item % gates.length, tag="gate")
+        iv = builder.induction(iv, tag="item")
+        deps = [iv]
+        if gate is not None:
+            deps.append(gate)
+        if feedback is not None:
+            deps.append(feedback)
+        loaded = [
+            builder.load(
+                src, (item * p.loads + k) * p.stride % src.length,
+                *deps, tag="stream",
+            )
+            for k in range(p.loads)
+        ]
+        value = _carried_fp(builder, p, accs, item, loaded)
+        for k in range(p.stores):
+            builder.store(
+                dst, (item * p.stores + k) % dst.length,
+                value if p.chain_depth else None, *deps, tag="out",
+            )
+        feedback = _feedback_convert(builder, p, item, value, feedback)
+
+
+def _emit_gather(builder: KernelBuilder, p: GenParams, items: int) -> None:
+    """Gather: every data address depends on an index-table self-load."""
+    idx = builder.array("idx", items)
+    src = builder.array("src", items * p.loads + 1)
+    dst = builder.array("dst", max(1, items * max(1, p.stores)))
+    # Concrete addresses are scattered (irregular locality); dependence
+    # structure routes them through the index load either way.
+    targets = [builder.rng.randrange(src.length) for _ in range(items)]
+    accs: list = [None] * p.dep_distance
+    iv = feedback = None
+    for item in range(items):
+        iv = builder.induction(iv, tag="item")
+        deps = [iv]
+        if feedback is not None:
+            deps.append(feedback)
+        pointer = builder.load(idx, item, *deps, tag="index")
+        loaded = [
+            builder.load(src, (targets[item] + k) % src.length,
+                         iv, pointer, tag="gather")
+            for k in range(p.loads)
+        ]
+        value = _carried_fp(builder, p, accs, item, loaded)
+        for k in range(p.stores):
+            builder.store(
+                dst, (item * p.stores + k) % dst.length,
+                value if p.chain_depth else None, iv, pointer, tag="out",
+            )
+        feedback = _feedback_convert(builder, p, item, value, feedback)
+
+
+def _emit_chase(builder: KernelBuilder, p: GenParams, items: int) -> None:
+    """Pointer chase: each address depends on the previous load's value."""
+    nodes = builder.array("nodes", items)
+    dst = builder.array("dst", items)
+    order = list(range(items))
+    builder.rng.shuffle(order)
+    iv = pointer = None
+    for item in range(items):
+        iv = builder.induction(iv, tag="item")
+        deps = [iv] if pointer is None else [iv, pointer]
+        pointer = builder.load(nodes, order[item], *deps, tag="chase")
+        value = pointer
+        for _ in range(p.chain_depth):
+            value = builder.fadd(value, pointer, tag="payload")
+        for _ in range(p.stores):
+            builder.store(dst, item, value if p.chain_depth else None,
+                          iv, tag="out")
+
+
+def _emit_stencil(builder: KernelBuilder, p: GenParams, items: int) -> None:
+    """Stencil: multi-tap reads plus a carried RAW on the output array."""
+    src = builder.array("src", items + p.taps)
+    dst = builder.array("dst", items)
+    iv = None
+    for item in range(items):
+        iv = builder.induction(iv, tag="item")
+        loaded = [
+            builder.load(src, item + t, iv, tag="tap")
+            for t in range(p.taps)
+        ]
+        weighted = [builder.fmul(v, tag="weight") for v in loaded]
+        value = builder.fsum_tree(weighted, tag="tree")
+        if item >= p.dep_distance:
+            # Reads the row stored dep_distance iterations ago: a
+            # store -> load memory dependence, DYFESM-style.
+            prev = builder.load(dst, item - p.dep_distance, iv,
+                                tag="carried")
+        else:
+            prev = builder.load(src, item, iv, tag="carried")
+        value = builder.fadd(value, prev, tag="carried")
+        builder.store(dst, item, value, iv, tag="out")
+
+
+def _emit_reduction(builder: KernelBuilder, p: GenParams, items: int) -> None:
+    """Reduction: serial accumulation, optional DU -> AU feedback."""
+    src = builder.array("src", items * p.loads + 1)
+    dst = builder.array(
+        "dst", max(1, items // max(1, p.store_period) + 1)
+    )
+    accs: list = [None] * p.dep_distance
+    iv = feedback = None
+    out = 0
+    for item in range(items):
+        iv = builder.induction(iv, tag="item")
+        deps = [iv]
+        if feedback is not None:
+            deps.append(feedback)
+        loaded = [
+            builder.load(src, (item * p.loads + k) % src.length,
+                         *deps, tag="stream")
+            for k in range(p.loads)
+        ]
+        value = _carried_fp(builder, p, accs, item, loaded,
+                            chain_tag="acc")
+        if p.store_period and (item + 1) % p.store_period == 0:
+            builder.store(dst, out % dst.length, value, iv, tag="out")
+            out += 1
+        feedback = _feedback_convert(builder, p, item, value, feedback)
+
+
+_EMITTERS = {
+    "streaming": _emit_stream,
+    "strided": _emit_stream,
+    "gather": _emit_gather,
+    "chase": _emit_chase,
+    "stencil": _emit_stencil,
+    "reduction": _emit_reduction,
+}
+
+
+# -- registry resolution -------------------------------------------------------
+
+
+def _resolve_generated(name: str) -> KernelSpec | None:
+    """Kernel-registry resolver for ``gen:<family>:<seed>`` names.
+
+    Resolution is pure name parsing; the band prediction needs a probe
+    build plus a full static characterisation, so it is deferred until
+    someone actually reads ``resolved_band`` (and then memoised on the
+    spec). Process-pool workers, which resolve names only to *build*
+    kernels, never pay for it.
+    """
+    parsed = parse_generated_name(name)
+    if parsed is None:
+        return None
+    family, seed = parsed
+
+    def _probe_band() -> str:
+        from .characterize import characterize
+
+        return characterize(
+            build_generated(family, seed, _PROBE_SCALE)
+        ).predicted_band
+
+    def _build(scale: int, s: int) -> Program:
+        if s != seed:
+            # The name *is* the identity: silently building a different
+            # seed would return a program contradicting the name.
+            raise KernelError(
+                f"kernel {name!r} pins seed {seed}; "
+                f"cannot build it with seed {s}"
+            )
+        return build_generated(family, seed, scale)
+
+    return KernelSpec(
+        name=name,
+        title=f"generated {family} loop nest (grammar v{GRAMMAR_VERSION})",
+        description=f"sampled from the {family} access-pattern family "
+        f"with seed {seed}",
+        band=_probe_band,
+        build=_build,
+        default_seed=seed,
+    )
+
+
+register_resolver(_resolve_generated)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -72,6 +74,96 @@ class TestCommands:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["--scale", "galactic", "table1"])
+
+
+class TestGeneratedWorkloadCommands:
+    def test_generate_one_family(self, capsys):
+        assert main(["generate", "--family", "chase", "--seed", "3",
+                     "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gen:chase:3" in out and "gen:chase:4" in out
+        assert "poor" in out
+
+    def test_generate_all_families(self, capsys):
+        assert main(["generate"]) == 0
+        out = capsys.readouterr().out
+        for family in ("streaming", "strided", "gather", "chase",
+                       "stencil", "reduction"):
+            assert f"gen:{family}:0" in out
+
+    def test_corpus_write_then_verify(self, capsys, tmp_path):
+        manifest = tmp_path / "c.toml"
+        assert main(["corpus", "--size", "5", "--seed", "1",
+                     "--out", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "5 kernels" in out and str(manifest) in out
+        assert main(["corpus", "--verify", str(manifest)]) == 0
+        assert "bit-identically" in capsys.readouterr().out
+
+    def test_corpus_verify_reports_tampering(self, capsys, tmp_path):
+        manifest = tmp_path / "c.toml"
+        assert main(["corpus", "--size", "3", "--out",
+                     str(manifest)]) == 0
+        capsys.readouterr()
+        text = manifest.read_text()
+        first_digest = next(
+            line for line in text.splitlines()
+            if line.startswith("digest")
+        )
+        manifest.write_text(
+            text.replace(first_digest, 'digest = "' + "0" * 64 + '"')
+        )
+        assert main(["corpus", "--verify", str(manifest)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_corpus_default_path_never_silently_overwritten(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["corpus", "--size", "3"]) == 0
+        capsys.readouterr()
+        # Same pins: regenerating in place is allowed.
+        assert main(["corpus", "--size", "3"]) == 0
+        capsys.readouterr()
+        # Different pins under the same default path: refused.
+        assert main(["corpus", "--size", "3", "--seed", "1",
+                     "--name", "default-3"]) == 1
+        assert "refusing to overwrite" in capsys.readouterr().out
+        # An incompatible manifest (e.g. an old grammar) is exactly
+        # what regeneration replaces — never locked out.
+        manifest = Path("corpus/default-3.toml")
+        manifest.write_text(
+            manifest.read_text().replace("grammar = 1", "grammar = 99")
+        )
+        assert main(["corpus", "--size", "3"]) == 0
+        assert "manifest written" in capsys.readouterr().out
+
+    def test_generalization_study_from_manifest(self, capsys, tmp_path):
+        manifest = tmp_path / "c.toml"
+        assert main(["corpus", "--size", "6", "--out",
+                     str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["ablation", "--study", "generalization",
+                     "--corpus", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "Generalization study" in out
+        assert "crossover structure holds" in out
+        for family in ("streaming", "chase", "reduction"):
+            assert family in out
+
+    def test_generalization_study_generated_in_memory(self, capsys):
+        assert main(["ablation", "--study", "generalization",
+                     "--size", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 kernels" in out
+
+    def test_run_accepts_generated_names(self, capsys):
+        assert main(["run", "--program", "gen:streaming:1"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_malformed_generated_name_clean_error(self, capsys):
+        assert main(["run", "--program", "gen:spice:1"]) == 2
+        assert "family" in capsys.readouterr().err
 
 
 class TestSweepCommand:

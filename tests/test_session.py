@@ -19,6 +19,7 @@ from repro.machines import (
     list_machines,
     register_machine,
 )
+from repro.workloads import generate_corpus
 
 SCALE = 2_000
 
@@ -117,6 +118,44 @@ class TestParallelExecutor:
         serial = Session(scale=SCALE).run(sweep, jobs=1)
         parallel = Session(scale=SCALE).run(sweep, jobs=2)
         assert serial.cycles() == parallel.cycles()
+
+    def test_generated_corpus_sweep_is_deterministic_across_jobs(
+        self, tmp_path
+    ):
+        """jobs=1 and jobs=4 over a generated-corpus sweep produce
+        identical results *and* identical disk-cache keys."""
+        corpus = generate_corpus(4, seed=0, scale=SCALE)
+        sweep = Sweep.grid(
+            name="corpus-determinism",
+            program=corpus.names,
+            machine=("dm", "swsm"),
+            window=16,
+            memory_differential=(0, 60),
+        )
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = Session(scale=SCALE, cache_dir=serial_dir).run(
+            sweep, jobs=1
+        )
+        parallel = Session(scale=SCALE, cache_dir=parallel_dir).run(
+            sweep, jobs=4
+        )
+        assert serial.points == parallel.points
+        assert serial.results == parallel.results
+        serial_keys = sorted(p.name for p in serial_dir.glob("*.pkl"))
+        parallel_keys = sorted(p.name for p in parallel_dir.glob("*.pkl"))
+        assert serial_keys == parallel_keys
+        assert len(serial_keys) == len(sweep)
+
+    def test_generated_kernels_resolve_inside_workers(self):
+        """gen: names must resolve in pool workers, not just locally."""
+        session = Session(scale=SCALE)
+        outcome = session.run(
+            Sweep.grid(program="gen:gather:5", machine="dm",
+                       window=(8, 16), memory_differential=60),
+            jobs=2,
+        )
+        assert all(result.cycles > 0 for _, result in outcome)
 
     def test_custom_programs_evaluate_locally(self):
         session = Session(scale=SCALE)
