@@ -4,6 +4,11 @@ The engine benchmarks append their measured instructions-per-second
 rows here so the repo carries a machine-readable perf trajectory from
 PR to PR. Rows are upserted by ``(scale, machine, engine)``: re-running
 a benchmark refreshes its numbers without touching the others.
+
+The paper-artifact report folds this file into its engine-benchmark
+page: ``repro report`` (``--bench BENCH_engine.json``) renders the
+trajectory table alongside the paper artefacts, so the perf history is
+part of the published site rather than a loose JSON blob.
 """
 
 from __future__ import annotations
@@ -13,6 +18,24 @@ from datetime import date
 from pathlib import Path
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def load_trajectory(path: Path = BENCH_PATH) -> dict:
+    """The current trajectory payload (header + rows), or a fresh header.
+
+    Tolerant of a missing or corrupt file — benchmarks must be able to
+    rebuild the trajectory from scratch.
+    """
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+            if isinstance(payload, dict):
+                return payload
+        except json.JSONDecodeError:
+            pass
+    payload = dict(_HEADER)
+    payload["rows"] = []
+    return payload
 
 _HEADER = {
     "benchmark": "engine throughput, machine instructions per second",
@@ -37,13 +60,7 @@ _HEADER = {
 
 def record_engine_rows(rows: list[dict], path: Path = BENCH_PATH) -> dict:
     """Merge measurement rows into the JSON trajectory file."""
-    payload = dict(_HEADER)
-    payload["rows"] = []
-    if path.exists():
-        try:
-            payload = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            pass
+    payload = load_trajectory(path)
     merged = {
         (row["scale"], row["machine"], row["engine"]): row
         for row in payload.get("rows", ())

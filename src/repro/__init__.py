@@ -112,6 +112,7 @@ from .partition import (
     lower_swsm,
     partition_dm,
 )
+from .report import ResultStore, StoredResult, build_report, write_site
 from .workloads import (
     FAMILIES,
     Corpus,
@@ -160,12 +161,14 @@ __all__ = [
     "Program",
     "ProjectionError",
     "ReproError",
+    "ResultStore",
     "SWSMConfig",
     "SerialMachine",
     "Session",
     "SimulationDeadlockError",
     "SimulationError",
     "SimulationResult",
+    "StoredResult",
     "StreamPrefetcher",
     "SuperscalarMachine",
     "Sweep",
@@ -179,6 +182,7 @@ __all__ = [
     "analyze_decoupling",
     "build_generated",
     "build_kernel",
+    "build_report",
     "build_synthetic_stream",
     "characterize",
     "classify_band",
@@ -210,5 +214,6 @@ __all__ = [
     "speedup",
     "verify_corpus",
     "write_manifest",
+    "write_site",
     "__version__",
 ]

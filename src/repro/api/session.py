@@ -40,6 +40,9 @@ from .spec import Point, Sweep, point_digest
 
 __all__ = ["Session", "SweepResult"]
 
+#: Distinguishes "no argument" from an explicit None in Session.store().
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -89,12 +92,45 @@ class Session:
         self._compiled: dict[tuple[str, float, str, str], object] = {}
         self._profiles: dict[str, object] = {}
         self._results: dict[Point, SimulationResult] = {}
+        self._result_store = None
+        self._store_keys: dict[Point, str] = {}
         self.stats = {
             "evaluated": 0,
             "memory_hits": 0,
             "disk_hits": 0,
             "disk_misses": 0,
         }
+
+    # -- persistent result store -------------------------------------------------
+
+    def store(self, target=_UNSET):
+        """The session's persistent :class:`~repro.report.ResultStore`.
+
+        Without an argument, returns the attached store (or ``None``).
+        With one, attaches it and returns it: pass a
+        :class:`~repro.report.ResultStore`, a path (opened on demand),
+        or ``None`` to detach. While attached, every evaluated point —
+        fresh, memory-cached or disk-cached — is upserted under its
+        content-addressed cache key, so the store accumulates exactly
+        the set of distinct operating points this session has seen.
+        Custom (non-registry) programs stay out, for the same reason
+        they stay out of the disk cache: the key does not cover their
+        content.
+        """
+        if target is _UNSET:
+            return self._result_store
+        # The recorded-key memo is per store: a fresh store must see
+        # every point again even if this session already hashed it.
+        self._store_keys = {}
+        if target is None:
+            self._result_store = None
+            return None
+        from ..report.store import ResultStore
+
+        if not isinstance(target, ResultStore):
+            target = ResultStore(target)
+        self._result_store = target
+        return target
 
     # -- programs ----------------------------------------------------------------
 
@@ -177,11 +213,27 @@ class Session:
         canonical = self._canonical(point)
         cached = self._lookup(canonical)
         if cached is not None:
+            self._record(canonical, cached)
             return cached
         result = self._simulate(canonical)
         self._store(canonical, result)
         self.stats["evaluated"] += 1
+        self._record(canonical, result)
         return result
+
+    def _record(self, canonical: Point, result: SimulationResult) -> None:
+        store = self._result_store
+        if store is None or canonical.program in self._custom:
+            return
+        key = self._store_keys.get(canonical)
+        if key is not None:
+            # Already warehoused by this session: keep the key visible
+            # to manifest tracking without re-hashing the point.
+            store.touch(key)
+        else:
+            self._store_keys[canonical] = store.record(
+                canonical, self.scale, self.latencies, result
+            )
 
     def cycles(self, point: Point) -> int:
         return self.evaluate(point).cycles

@@ -24,6 +24,12 @@ Generic declarative sweeps (any grid, parallel, disk-cached)::
     python -m repro sweep --preset bypass --program mdg
     python -m repro sweep --spec my_sweep.toml
     python -m repro run --program trfd --machine swsm --window 64 --md 60
+
+The paper-artifact report (persistent results store + static site)::
+
+    python -m repro report --out docs/report
+    python -m repro --scale tiny report --corpus corpus/default-100.toml
+    python -m repro results --program mdg --machine dm
 """
 
 from __future__ import annotations
@@ -42,31 +48,23 @@ from .api import (
     load_sweep,
 )
 from .errors import ReproError
-from .experiments import (
-    FIGURE_PROGRAMS,
-    PRESETS,
-    active_preset,
-    render_plot,
-    render_table,
-    run_bypass_ablation,
-    run_code_expansion_ablation,
-    run_esw_study,
-    run_ewr_figure,
-    run_issue_split_ablation,
-    run_memory_hierarchy_ablation,
-    run_partition_ablation,
-    run_speedup_figure,
-    run_table1,
+from .experiments import PRESETS, active_preset, render_table
+from .report import (
+    ResultStore,
+    build_report,
+    emit_ablation,
+    emit_esw,
+    emit_ewr,
+    emit_generate,
+    emit_generalization,
+    emit_kernels,
+    emit_speedup,
+    emit_table1,
+    render_text,
 )
-from .experiments.generalization import run_generalization_study
-from .kernels import get_kernel, list_kernels
-from .partition import analyze_decoupling
 from .workloads import (
     FAMILIES,
-    build_generated,
-    characterize,
     generate_corpus,
-    generated_name,
     load_manifest,
     verify_corpus,
     write_manifest,
@@ -149,6 +147,81 @@ def _build_parser() -> argparse.ArgumentParser:
         help="corpus seed when no --corpus manifest is given",
     )
     sub.add_parser("kernels", help="list workload models and their structure")
+
+    report = sub.add_parser(
+        "report",
+        help="render every paper artefact as a static site "
+        "(Markdown/HTML/SVG) backed by the persistent results store",
+    )
+    report.add_argument(
+        "--out",
+        default="docs/report",
+        metavar="DIR",
+        help="site output directory (default: docs/report)",
+    )
+    report.add_argument(
+        "--store",
+        default=".repro-results.sqlite",
+        metavar="FILE",
+        help="persistent results store; grows incrementally across runs; "
+        "pass 'none' to disable (default: .repro-results.sqlite)",
+    )
+    report.add_argument(
+        "--program",
+        default="flo52q",
+        help="program the ablation pages study (default: flo52q)",
+    )
+    report.add_argument(
+        "--corpus",
+        default=None,
+        metavar="FILE",
+        help="corpus manifest for the generalization pages "
+        "(default: generate one in memory)",
+    )
+    report.add_argument(
+        "--corpus-size",
+        type=int,
+        default=12,
+        help="generated corpus size when no --corpus manifest is given",
+    )
+    report.add_argument(
+        "--corpus-seed",
+        type=int,
+        default=0,
+        help="corpus seed when no --corpus manifest is given",
+    )
+    report.add_argument(
+        "--bench",
+        default="BENCH_engine.json",
+        metavar="FILE",
+        help="engine benchmark trajectory to fold into the site "
+        "(page skipped when the file is missing)",
+    )
+    report.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=argparse.SUPPRESS,
+        help="fidelity preset (same as the global --scale)",
+    )
+
+    results = sub.add_parser(
+        "results",
+        help="inspect the persistent results store",
+    )
+    results.add_argument(
+        "--store",
+        default=".repro-results.sqlite",
+        metavar="FILE",
+        help="results store to read (default: .repro-results.sqlite)",
+    )
+    results.add_argument("--program", default=None, help="filter by program")
+    results.add_argument("--machine", default=None, help="filter by machine")
+    results.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="maximum rows to print (0 = all; default: 20)",
+    )
 
     generate = sub.add_parser(
         "generate",
@@ -252,141 +325,27 @@ def _make_session(args: argparse.Namespace):
 
 
 def _print_table1(session: Session, preset) -> None:
-    result = run_table1(session)
-    headers = ["Prog"] + [
-        "unl" if window is None else str(window) for window in result.windows
-    ] + ["band"]
-    rows = [
-        [row.program]
-        + [row.lhe_by_window[window] for window in result.windows]
-        + [row.measured_band]
-        for row in result.rows
-    ]
-    print(render_table(
-        headers, rows,
-        title=f"Table 1: DM latency hiding effectiveness, md="
-              f"{result.memory_differential} (scale={preset.name})",
-    ))
-    print(f"bands matching the paper: {result.bands_correct}/{len(result.rows)}")
+    print(render_text(emit_table1(session, preset)))
 
 
 def _print_speedup(session: Session, preset, program: str) -> None:
-    figure = run_speedup_figure(
-        session, program, windows=preset.speedup_windows
-    )
-    series = {
-        f"{curve.machine} md={curve.memory_differential}": curve.speedups
-        for curve in figure.curves
-    }
-    print(render_plot(
-        figure.windows, series,
-        title=f"Speedup vs window size: {program} (CIW=9)",
-        x_label="window size",
-    ))
-    for md in (0, 60):
-        crossover = figure.crossover_window(md)
-        text = "none (DM wins everywhere)" if crossover is None else str(crossover)
-        print(f"md={md}: SWSM overtakes the DM at window {text}")
+    print(render_text(emit_speedup(session, preset, program)))
 
 
 def _print_ewr(session: Session, preset, program: str) -> None:
-    figure = run_ewr_figure(
-        session, program,
-        dm_windows=preset.ewr_windows,
-        differentials=preset.ewr_differentials,
-    )
-    series = {
-        f"md={curve.memory_differential}": curve.ratios
-        for curve in figure.curves
-    }
-    print(render_plot(
-        figure.dm_windows, series,
-        title=f"Equivalent window ratio: {program}",
-        x_label="access decoupled window size",
-    ))
+    print(render_text(emit_ewr(session, preset, program)))
 
 
 def _print_esw(session: Session) -> None:
-    rows = run_esw_study(session, FIGURE_PROGRAMS)
-    print(render_table(
-        ["Prog", "md", "window", "mean ESW", "peak ESW", "amplification"],
-        [
-            [row.program, row.memory_differential, row.window,
-             row.stats.mean, row.stats.peak, row.stats.amplification]
-            for row in rows
-        ],
-        title="Effective single window (vs 2x physical window)",
-    ))
+    print(render_text(emit_esw(session)))
 
 
 def _print_ablation(session: Session, study: str, program: str) -> None:
-    if study == "issue-split":
-        points = run_issue_split_ablation(session, program)
-        print(render_table(
-            ["AU", "DU", "cycles"],
-            [[p.au_width, p.du_width, p.cycles] for p in points],
-            title=f"Issue-width split at CIW=9: {program} (md=60, window=32)",
-        ))
-        best = min(points, key=lambda p: p.cycles)
-        print(f"best split: AU={best.au_width} DU={best.du_width}")
-    elif study == "partition":
-        points = run_partition_ablation(session, program)
-        print(render_table(
-            ["strategy", "cycles", "AU instrs", "DU instrs"],
-            [[p.strategy, p.cycles, p.au_instructions, p.du_instructions]
-             for p in points],
-            title=f"Partition strategies: {program} (md=60, window=32)",
-        ))
-    elif study == "bypass":
-        points = run_bypass_ablation(session, program)
-        print(render_table(
-            ["entries", "cycles", "hit rate"],
-            [[p.entries, p.cycles, p.hit_rate] for p in points],
-            title=f"Bypass buffer: {program} (md=60, window=32)",
-        ))
-    elif study == "hierarchy":
-        points = run_memory_hierarchy_ablation(session, program)
-        print(render_table(
-            ["memory", "DM cycles", "SWSM cycles", "DM advantage",
-             "DM locality"],
-            [[p.memory, p.dm_cycles, p.swsm_cycles, p.dm_advantage,
-              p.dm_hit_rate] for p in points],
-            title=f"Memory hierarchy: {program} (md=60, window=32)",
-        ))
-        fixed = points[0]
-        best = min(points, key=lambda p: p.dm_cycles)
-        print(
-            f"DM advantage {fixed.dm_advantage:.2f}x under the paper's "
-            f"fixed model; best DM memory system: {best.memory} "
-            f"({best.dm_cycles} cycles)"
-        )
-    else:
-        points = run_code_expansion_ablation(session, program)
-        print(render_table(
-            ["overhead", "DM cycles", "SWSM cycles", "SWSM/DM"],
-            [[f"{p.fraction:.0%}", p.dm_cycles, p.swsm_cycles, p.dm_over_swsm]
-             for p in points],
-            title=f"Code expansion: {program} (md=60, window=32)",
-        ))
+    print(render_text(emit_ablation(session, study, program)))
 
 
 def _print_kernels(session: Session) -> None:
-    rows = []
-    for name in list_kernels():
-        spec = get_kernel(name)
-        program = session.program(name)
-        report = analyze_decoupling(program)
-        rows.append([
-            name, len(program), f"{program.stats.memory_fraction:.2f}",
-            f"{report.au_fraction:.2f}", report.self_loads,
-            report.lod_events, spec.resolved_band,
-        ])
-    print(render_table(
-        ["kernel", "instrs", "mem frac", "AU frac", "self-loads",
-         "LOD events", "paper band"],
-        rows,
-        title="Workload models (PERFECT Club substitutes)",
-    ))
+    print(render_text(emit_kernels(session)))
 
 
 def _print_generalization(session: Session, preset, args) -> None:
@@ -396,57 +355,79 @@ def _print_generalization(session: Session, preset, args) -> None:
         corpus = generate_corpus(
             args.size, seed=args.seed, scale=preset.scale
         )
-    result = run_generalization_study(session, corpus)
-    rows = []
-    for family in result.families:
-        bands = family.band_counts
-        rows.append([
-            family.family, family.kernels, bands["high"],
-            bands["moderate"], bands["poor"],
-            f"{family.prediction_hits}/{family.kernels}",
-            f"{family.mean_dm_lhe:.3f}", f"{family.mean_swsm_lhe:.3f}",
-            f"{family.dm_wins}/{family.kernels}",
-            f"{family.holds}/{family.kernels}",
-        ])
-    print(render_table(
-        ["family", "n", "high", "mod", "poor", "pred hit", "DM LHE",
-         "SWSM LHE", "DM wins", "holds"],
-        rows,
-        title=f"Generalization study: {corpus.name} "
-              f"({result.kernels} kernels, scale={preset.name}, "
-              f"window={result.window}, md={result.memory_differential})",
-    ))
-    print(
-        f"paper crossover structure holds for {result.holds}/"
-        f"{result.kernels} kernels ({result.holds_fraction:.0%}); "
-        f"characterizer band agreement "
-        f"{result.prediction_agreement:.0%}"
-    )
+    summary, *_families = emit_generalization(session, preset, corpus)
+    print(render_text(summary))
 
 
 def _print_generate(session: Session, args) -> None:
-    families = FAMILIES if args.family == "all" else (args.family,)
-    rows = []
-    for family in families:
-        for offset in range(max(1, args.count)):
-            seed = args.seed + offset
-            program = build_generated(family, seed, session.scale)
-            profile = characterize(program)
-            rows.append([
-                generated_name(family, seed), len(program),
-                f"{profile.memory_fraction:.2f}",
-                f"{profile.fp_fraction:.2f}",
-                f"{profile.lod_rate:.2f}",
-                f"{profile.self_load_rate:.2f}",
-                f"{profile.load_chain_fraction:.3f}",
-                profile.predicted_band,
-            ])
-    print(render_table(
-        ["kernel", "instrs", "mem frac", "fp frac", "LOD/ki",
-         "self-ld/ki", "load chain", "pred band"],
-        rows,
-        title="Generated kernels (loop-nest grammar, static profile)",
+    print(render_text(
+        emit_generate(session, args.family, args.seed, args.count)
     ))
+
+
+def _report_command(session: Session, preset, args) -> int:
+    if args.store and args.store.lower() != "none":
+        session.store(args.store)
+    if args.corpus:
+        corpus = load_manifest(args.corpus)
+    else:
+        corpus = generate_corpus(
+            args.corpus_size, seed=args.corpus_seed, scale=preset.scale
+        )
+    manifest = build_report(
+        session,
+        preset,
+        args.out,
+        corpus=corpus,
+        ablation_program=args.program,
+        bench_path=args.bench,
+    )
+    charts = sum(1 for page in manifest["pages"] if page.endswith(".svg"))
+    print(
+        f"report: {len(manifest['artifacts'])} artefacts, "
+        f"{len(manifest['pages'])} files ({charts} SVG charts) "
+        f"-> {args.out}"
+    )
+    store = session.store()
+    if store is not None:
+        print(f"store: {len(store)} results in {args.store}")
+    return 0
+
+
+def _results_command(args) -> int:
+    if not Path(args.store).exists():
+        print(f"no results yet in {args.store}")
+        return 0
+    store = ResultStore(args.store)
+    rows = store.rows(
+        program=args.program,
+        machine=args.machine,
+        limit=args.limit if args.limit > 0 else None,
+    )
+    if not rows:
+        print(f"no results yet in {args.store}")
+        return 0
+    table = []
+    for row in rows:
+        window = "unl" if row.window is None else row.window
+        memory = _memory_label(MemorySpec(**row.memory))
+        table.append([
+            row.program, row.machine, window, row.memory_differential,
+            memory, row.scale, row.cycles, f"{row.ipc:.3f}",
+        ])
+    print(render_table(
+        ["program", "machine", "window", "md", "memory", "scale",
+         "cycles", "ipc"],
+        table,
+        title=f"results store {args.store}",
+    ))
+    summary = store.summary()
+    print(
+        f"{summary['results']} stored results "
+        f"({summary['programs']} programs, {summary['machines']} machines, "
+        f"{summary['scales']} scales); showing {len(rows)}"
+    )
+    return 0
 
 
 def _corpus_command(session: Session, preset, args) -> int:
@@ -628,6 +609,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             _print_ablation(session, args.study, args.program)
     elif command == "kernels":
         _print_kernels(session)
+    elif command == "report":
+        return _report_command(session, preset, args)
+    elif command == "results":
+        return _results_command(args)
     elif command == "generate":
         _print_generate(session, args)
     elif command == "corpus":

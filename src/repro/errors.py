@@ -18,6 +18,7 @@ __all__ = [
     "MetricError",
     "ProjectionError",
     "KernelError",
+    "StoreError",
 ]
 
 
@@ -64,3 +65,7 @@ class ProjectionError(MetricError):
 
 class KernelError(ReproError):
     """A kernel model was requested with invalid parameters."""
+
+
+class StoreError(ReproError):
+    """A persistent result store is unreadable or schema-incompatible."""

@@ -21,7 +21,7 @@ from .ablations import (
 )
 from .esw_study import EswStudyRow, run_esw_study
 from .ewr_figures import EwrCurve, EwrFigure, run_ewr_figure
-from .formatting import render_plot, render_table
+from .formatting import format_cell, render_plot, render_table
 from .generalization import (
     FamilyGeneralization,
     GeneralizationResult,
@@ -72,6 +72,7 @@ __all__ = [
     "Table1Row",
     "UNLIMITED",
     "active_preset",
+    "format_cell",
     "render_plot",
     "render_table",
     "run_bypass_ablation",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
-__all__ = ["render_table", "render_plot"]
+__all__ = ["format_cell", "render_table", "render_plot"]
 
 
 def render_table(
@@ -19,7 +19,7 @@ def render_table(
     title: str = "",
 ) -> str:
     """Monospace table with right-aligned numeric columns."""
-    cells = [[_format_cell(value) for value in row] for row in rows]
+    cells = [[format_cell(value) for value in row] for row in rows]
     columns = len(headers)
     for row in cells:
         if len(row) != columns:
@@ -41,7 +41,15 @@ def render_table(
     return "\n".join(lines)
 
 
-def _format_cell(value: object) -> str:
+def format_cell(value: object) -> str:
+    """Canonical cell formatting shared by every renderer.
+
+    Floats print at two decimals (NaN as ``-``), ``None`` renders as
+    the unlimited-window label. The terminal tables, the Markdown
+    tables and the HTML tables of the report site all format values
+    through this one function, so a number reads identically on every
+    surface.
+    """
     if isinstance(value, float):
         if math.isnan(value):
             return "-"

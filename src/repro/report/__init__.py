@@ -1,0 +1,54 @@
+"""Paper-artifact report subsystem: store, emitters, renderers, site.
+
+Four layers (see docs/architecture.md):
+
+* :mod:`repro.report.store` — :class:`ResultStore`, the SQLite-backed
+  warehouse of evaluated operating points, keyed by the session's
+  content-addressed cache keys and attached via ``session.store(...)``;
+* :mod:`repro.report.emitters` — one function per paper artefact,
+  emitting typed :class:`~repro.report.rows.Artifact` blocks instead of
+  printed strings;
+* :mod:`repro.report.text` — the single terminal renderer the CLI
+  prints (byte-identical to the historical output);
+* :mod:`repro.report.site` — the deterministic static site generator
+  behind ``repro report`` (Markdown/HTML pages, SVG charts, manifest).
+"""
+
+from .emitters import (
+    ABLATION_STUDIES,
+    emit_ablation,
+    emit_esw,
+    emit_ewr,
+    emit_generate,
+    emit_generalization,
+    emit_kernels,
+    emit_speedup,
+    emit_table1,
+)
+from .rows import Artifact, PlotBlock, TableBlock, TextBlock
+from .site import build_report, load_bench, write_site
+from .store import SCHEMA_VERSION, ResultStore, StoredResult
+from .text import render_text
+
+__all__ = [
+    "ABLATION_STUDIES",
+    "Artifact",
+    "PlotBlock",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "StoredResult",
+    "TableBlock",
+    "TextBlock",
+    "build_report",
+    "emit_ablation",
+    "emit_esw",
+    "emit_ewr",
+    "emit_generate",
+    "emit_generalization",
+    "emit_kernels",
+    "emit_speedup",
+    "emit_table1",
+    "load_bench",
+    "render_text",
+    "write_site",
+]

@@ -1,0 +1,78 @@
+"""Typed artefact content: tables, plots and prose as data, not strings.
+
+Every paper artefact — Table 1, the figure series, the ESW study, the
+ablations, the generalization study — is *emitted* as an
+:class:`Artifact`: an ordered sequence of typed blocks. Renderers then
+turn the same blocks into different surfaces:
+
+* :func:`repro.report.text.render_text` — the classic terminal output
+  (byte-identical to the pre-report CLI);
+* :func:`repro.report.site.build_site` — Markdown/HTML pages with SVG
+  line charts.
+
+Keeping the rows typed (rather than pre-formatted strings) is what
+makes the artefacts diffable, storable and servable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Artifact", "PlotBlock", "TableBlock", "TextBlock"]
+
+
+@dataclass(frozen=True)
+class TableBlock:
+    """One table: headers plus rows of raw (unformatted) values."""
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    title: str = ""
+
+
+@dataclass(frozen=True)
+class PlotBlock:
+    """One figure: named series over a shared x axis.
+
+    ``series`` is ordered (label, values) so renderers agree on marker
+    and colour assignment. NaN values mark holes (e.g. EWR points the
+    SWSM could not match) and are skipped by every renderer.
+    """
+
+    x_values: tuple[float, ...]
+    series: tuple[tuple[str, tuple[float, ...]], ...]
+    title: str = ""
+    x_label: str = "x"
+    y_label: str = ""
+
+
+@dataclass(frozen=True)
+class TextBlock:
+    """Free-form summary lines (crossovers, match counts, best points)."""
+
+    lines: tuple[str, ...]
+
+
+Block = TableBlock | PlotBlock | TextBlock
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One rendered artefact: a slug, a title and its content blocks.
+
+    ``slug`` names the page in a generated site (``<slug>.md`` /
+    ``<slug>.html``) and the artefact's entry in the report manifest.
+    ``description`` is site-only prose; the terminal renderer ignores
+    it so classic CLI output stays unchanged.
+    """
+
+    slug: str
+    title: str
+    blocks: tuple[Block, ...]
+    description: str = ""
+    store_keys: tuple[str, ...] = field(default=())
+
+    def with_store_keys(self, keys) -> "Artifact":
+        from dataclasses import replace
+
+        return replace(self, store_keys=tuple(sorted(keys)))

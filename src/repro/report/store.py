@@ -1,0 +1,346 @@
+"""The persistent results store: an SQLite warehouse of evaluated points.
+
+Every :class:`~repro.api.spec.Point` a :class:`~repro.api.Session`
+evaluates can be recorded here, keyed by the *same* content address the
+session's disk cache uses (:func:`repro.api.spec.point_digest` over
+point, scale, latency model and cache format). The store is therefore
+incremental by construction: recording an already-present key is a
+no-op, so repeated sweeps only append what's new, and two sessions
+writing the same operating points agree byte-for-byte on the keys.
+
+Each row carries the full operating point (program, machine, window,
+memory differential, issue widths, partition, expansion, memory-system
+spec), the session context (scale, latency model), the measured result
+(cycles, instructions, metadata including every memory model's
+``stats()`` counters) and the relevant format versions (cache format,
+and the grammar version for generated ``gen:<family>:<seed>``
+programs). A schema-version mismatch on open raises
+:class:`~repro.errors.StoreError` loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import LatencyModel
+    from ..machines import SimulationResult
+
+__all__ = ["ResultStore", "StoredResult", "SCHEMA_VERSION"]
+
+#: Bump on any change to the row schema below; stores written by a
+#: different version refuse to open instead of silently misreading.
+SCHEMA_VERSION = 1
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS results (
+    key                 TEXT PRIMARY KEY,
+    program             TEXT NOT NULL,
+    machine             TEXT NOT NULL,
+    window              INTEGER,
+    memory_differential INTEGER NOT NULL,
+    au_width            INTEGER NOT NULL,
+    du_width            INTEGER NOT NULL,
+    swsm_width          INTEGER NOT NULL,
+    partition           TEXT NOT NULL,
+    expansion           REAL NOT NULL,
+    memory              TEXT NOT NULL,
+    scale               INTEGER NOT NULL,
+    latencies           TEXT NOT NULL,
+    cycles              INTEGER NOT NULL,
+    instructions        INTEGER NOT NULL,
+    meta                TEXT NOT NULL,
+    cache_format        INTEGER NOT NULL,
+    grammar_version     INTEGER
+)
+"""
+
+_COLUMNS = (
+    "key", "program", "machine", "window", "memory_differential",
+    "au_width", "du_width", "swsm_width", "partition", "expansion",
+    "memory", "scale", "latencies", "cycles", "instructions", "meta",
+    "cache_format", "grammar_version",
+)
+
+_INSERT = (
+    f"INSERT OR IGNORE INTO results ({', '.join(_COLUMNS)}) "
+    f"VALUES ({', '.join('?' * len(_COLUMNS))})"
+)
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One warehouse row, fully typed (JSON columns decoded to dicts)."""
+
+    key: str
+    program: str
+    machine: str
+    window: int | None  # None = the paper's unlimited window
+    memory_differential: int
+    au_width: int
+    du_width: int
+    swsm_width: int
+    partition: str
+    expansion: float
+    memory: dict
+    scale: int
+    latencies: dict
+    cycles: int
+    instructions: int
+    meta: dict
+    cache_format: int
+    grammar_version: int | None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class ResultStore:
+    """SQLite-backed warehouse of evaluated operating points.
+
+    Open with a path (created on demand) or ``":memory:"`` for an
+    ephemeral store. Attach to a session with ``session.store(store)``
+    so every evaluated point is recorded automatically; or call
+    :meth:`record` directly.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = Path(path) if str(path) != ":memory:" else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._con = sqlite3.connect(str(path))
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot open result store {path}: {error}")
+        self._init_schema(str(path))
+        self._seen: set[str] = set()
+        self._groups: list[set[str]] = []
+
+    def _init_schema(self, label: str) -> None:
+        try:
+            version = self._con.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                existing = self._con.execute(
+                    "SELECT name FROM sqlite_master "
+                    "WHERE type IN ('table', 'view')"
+                ).fetchone()
+                if existing is not None:
+                    # Any pre-existing content without our schema
+                    # version is either a foreign application's
+                    # database or a pre-versioning store; adopting and
+                    # mutating it would corrupt it either way.
+                    raise StoreError(
+                        f"{label} is not an empty or versioned result "
+                        f"store (it already contains table "
+                        f"{existing[0]!r} with no schema version); "
+                        f"refusing to adopt a foreign database"
+                    )
+                self._con.execute(_CREATE)
+                self._con.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                self._con.commit()
+            elif version != SCHEMA_VERSION:
+                raise StoreError(
+                    f"result store {label} has schema v{version}; this "
+                    f"build reads v{SCHEMA_VERSION} — regenerate the store "
+                    f"or use a matching repro version"
+                )
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot read result store {label}: {error}")
+
+    # -- writing -----------------------------------------------------------------
+
+    def record(
+        self,
+        point,
+        scale: int,
+        latencies: "LatencyModel",
+        result: "SimulationResult",
+    ) -> str:
+        """Upsert one evaluated point; returns its store key.
+
+        The key is the session's content address for the point, so
+        recording the same (point, scale, latencies) twice — or across
+        runs — leaves exactly one row. Group tracking (for report
+        manifests) sees every key regardless of whether the row was new.
+        """
+        from dataclasses import asdict
+
+        from ..api.spec import point_digest
+
+        key = point_digest(point, scale, latencies)
+        for group in self._groups:
+            group.add(key)
+        if key in self._seen:
+            return key
+        self._seen.add(key)
+        grammar_version = None
+        if point.program.lower().startswith("gen:"):
+            from ..workloads.grammar import GRAMMAR_VERSION
+
+            grammar_version = GRAMMAR_VERSION
+        from ..api.spec import CACHE_FORMAT
+
+        row = (
+            key,
+            point.program,
+            point.machine,
+            point.window,
+            point.memory_differential,
+            point.au_width,
+            point.du_width,
+            point.swsm_width,
+            point.partition,
+            point.expansion,
+            _to_json(asdict(point.memory)),
+            scale,
+            _to_json(asdict(latencies)),
+            result.cycles,
+            result.instructions,
+            _to_json(dict(result.meta)),
+            CACHE_FORMAT,
+            grammar_version,
+        )
+        self._con.execute(_INSERT, row)
+        self._con.commit()
+        return key
+
+    def touch(self, key: str) -> str:
+        """Re-announce an already-recorded key to active tracking groups.
+
+        The session calls this instead of :meth:`record` once it knows
+        a canonical point's key, so repeat evaluations stay visible to
+        per-artefact manifests without re-serialising the point or
+        re-hashing its digest.
+        """
+        for group in self._groups:
+            group.add(key)
+        return key
+
+    # -- group tracking (report manifests) ---------------------------------------
+
+    def track(self) -> "_KeyGroup":
+        """Context manager collecting the keys recorded inside it."""
+        return _KeyGroup(self)
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._con.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def keys(self) -> list[str]:
+        """All store keys, sorted (the manifest order)."""
+        return [
+            row[0]
+            for row in self._con.execute(
+                "SELECT key FROM results ORDER BY key"
+            )
+        ]
+
+    def rows(
+        self,
+        program: str | None = None,
+        machine: str | None = None,
+        scale: int | None = None,
+        limit: int | None = None,
+    ) -> list[StoredResult]:
+        """Typed rows, deterministically ordered, optionally filtered."""
+        clauses, params = [], []
+        for column, value in (
+            ("program", program), ("machine", machine), ("scale", scale)
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        tail = " LIMIT ?" if limit is not None else ""
+        if limit is not None:
+            params.append(limit)
+        query = (
+            f"SELECT {', '.join(_COLUMNS)} FROM results{where} "
+            f"ORDER BY program, machine, memory_differential, "
+            f"COALESCE(window, 1 << 62), key{tail}"
+        )
+        return [self._row_to_result(row) for row in
+                self._con.execute(query, params)]
+
+    def get(self, key: str) -> StoredResult | None:
+        row = self._con.execute(
+            f"SELECT {', '.join(_COLUMNS)} FROM results WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return None if row is None else self._row_to_result(row)
+
+    def summary(self) -> dict[str, object]:
+        """Aggregate counts for the ``repro results`` footer."""
+        total = len(self)
+        distinct = {
+            field: self._con.execute(
+                f"SELECT COUNT(DISTINCT {field}) FROM results"
+            ).fetchone()[0]
+            for field in ("program", "machine", "scale")
+        }
+        return {
+            "results": total,
+            "programs": distinct["program"],
+            "machines": distinct["machine"],
+            "scales": distinct["scale"],
+        }
+
+    @staticmethod
+    def _row_to_result(row: tuple) -> StoredResult:
+        values = dict(zip(_COLUMNS, row))
+        values["memory"] = json.loads(values["memory"])
+        values["latencies"] = json.loads(values["latencies"])
+        values["meta"] = json.loads(values["meta"])
+        return StoredResult(**values)
+
+    def close(self) -> None:
+        self._con.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _KeyGroup:
+    """Collects the store keys recorded while the context is active."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self._store = store
+        self.keys: set[str] = set()
+
+    def __enter__(self) -> "_KeyGroup":
+        self._store._groups.append(self.keys)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        groups = self._store._groups
+        for index, group in enumerate(groups):
+            # By identity, not equality: nested groups can hold equal
+            # key sets, and removing the wrong one would detach a
+            # still-open outer group.
+            if group is self.keys:
+                del groups[index]
+                break
+
+    def sorted(self) -> list[str]:
+        return sorted(self.keys)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sorted())
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def _to_json(data: dict) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))

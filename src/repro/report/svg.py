@@ -1,0 +1,211 @@
+"""Deterministic SVG line charts for the generated report site.
+
+Renders a :class:`~repro.report.rows.PlotBlock` as a standalone SVG
+document: thin 2px series lines with small round markers, recessive
+hairline gridlines, a single y axis starting at zero, and a legend
+(text in ink, never in the series colour). Series colours come from a
+fixed-order categorical palette validated for adjacent-pair
+colour-vision-deficiency separation on the light surface; slots are
+assigned in series order and never cycled per-chart.
+
+Everything is formatted with fixed precision and no timestamps, so the
+same data always produces the same bytes — the report site is
+byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+from .rows import PlotBlock
+
+__all__ = ["render_line_chart"]
+
+#: Fixed-order categorical palette (light surface), CVD-validated for
+#: adjacent pairs; see docs/report generator notes. Never re-ordered.
+PALETTE = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_INK_SECONDARY = "#52514e"
+_MUTED = "#898781"
+_GRID = "#e1e0d9"
+_AXIS = "#c3c2b7"
+
+_WIDTH, _HEIGHT = 760, 440
+_MARGIN_LEFT, _MARGIN_RIGHT = 64, 190
+_MARGIN_TOP, _MARGIN_BOTTOM = 56, 64
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate/label formatting (deterministic)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def _ticks(low: float, high: float, target: int = 5) -> list[float]:
+    """Round-numbered axis ticks covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw = span / max(1, target)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = magnitude * factor
+        if span / step <= target + 1:
+            break
+    first = math.ceil(low / step) * step
+    ticks, value = [], first
+    while value <= high + step * 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def render_line_chart(plot: PlotBlock) -> str:
+    """Render a PlotBlock as a standalone SVG document (light mode)."""
+    points = [
+        (float(x), float(y))
+        for _, ys in plot.series
+        for x, y in zip(plot.x_values, ys)
+        if not math.isnan(float(y))
+    ]
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="{_SURFACE}"/>',
+        f'<text x="{_MARGIN_LEFT}" y="28" fill="{_INK}" font-size="15" '
+        f'font-weight="600">{escape(plot.title)}</text>',
+    ]
+    if not points:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT}" y="{_MARGIN_TOP + 40}" '
+            f'fill="{_MUTED}" font-size="13">(no finite data)</text>'
+        )
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+    x_low = min(p[0] for p in points)
+    x_high = max(p[0] for p in points)
+    y_low = min(0.0, min(p[1] for p in points))
+    y_high = max(p[1] for p in points)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_low) / (x_high - x_low) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+    # Recessive horizontal gridlines + y tick labels.
+    for tick in _ticks(y_low, y_high):
+        if tick < y_low - 1e-9 or tick > y_high + 1e-9:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.2f}" '
+            f'x2="{_MARGIN_LEFT + plot_w}" y2="{y:.2f}" '
+            f'stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.2f}" fill="{_MUTED}" '
+            f'font-size="11" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    # x ticks: the actual data x positions (they are few and meaningful).
+    for x in plot.x_values:
+        px = sx(float(x))
+        parts.append(
+            f'<line x1="{px:.2f}" y1="{_MARGIN_TOP + plot_h}" '
+            f'x2="{px:.2f}" y2="{_MARGIN_TOP + plot_h + 4}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{px:.2f}" y="{_MARGIN_TOP + plot_h + 18}" '
+            f'fill="{_MUTED}" font-size="11" text-anchor="middle">'
+            f'{_fmt(float(x))}</text>'
+        )
+    # Axis lines (baseline + y axis), slightly stronger than the grid.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_h}" '
+        f'x2="{_MARGIN_LEFT + plot_w}" y2="{_MARGIN_TOP + plot_h}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{_MARGIN_TOP + plot_h}" '
+        f'stroke="{_AXIS}" stroke-width="1"/>'
+    )
+    # Axis titles.
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2:.2f}" y="{_HEIGHT - 18}" '
+        f'fill="{_INK_SECONDARY}" font-size="12" text-anchor="middle">'
+        f'{escape(plot.x_label)}</text>'
+    )
+    if plot.y_label:
+        parts.append(
+            f'<text x="18" y="{_MARGIN_TOP + plot_h / 2:.2f}" '
+            f'fill="{_INK_SECONDARY}" font-size="12" text-anchor="middle" '
+            f'transform="rotate(-90 18 {_MARGIN_TOP + plot_h / 2:.2f})">'
+            f'{escape(plot.y_label)}</text>'
+        )
+    # Series: 2px lines with round markers; NaN values break the line.
+    for index, (label, ys) in enumerate(plot.series):
+        colour = PALETTE[index % len(PALETTE)]
+        segments: list[list[tuple[float, float]]] = [[]]
+        for x, y in zip(plot.x_values, ys):
+            if math.isnan(float(y)):
+                if segments[-1]:
+                    segments.append([])
+                continue
+            segments[-1].append((sx(float(x)), sy(float(y))))
+        for segment in segments:
+            if len(segment) >= 2:
+                path = " ".join(f"{px:.2f},{py:.2f}" for px, py in segment)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" '
+                    f'stroke="{colour}" stroke-width="2" '
+                    f'stroke-linejoin="round" stroke-linecap="round"/>'
+                )
+        for segment in segments:
+            for px, py in segment:
+                parts.append(
+                    f'<circle cx="{px:.2f}" cy="{py:.2f}" r="3" '
+                    f'fill="{colour}" stroke="{_SURFACE}" '
+                    f'stroke-width="1.5"/>'
+                )
+    # Legend (swatch carries identity; text stays in ink).
+    legend_x = _MARGIN_LEFT + plot_w + 18
+    for index, (label, _) in enumerate(plot.series):
+        y = _MARGIN_TOP + 10 + index * 22
+        colour = PALETTE[index % len(PALETTE)]
+        parts.append(
+            f'<line x1="{legend_x}" y1="{y}" x2="{legend_x + 18}" '
+            f'y2="{y}" stroke="{colour}" stroke-width="2.5" '
+            f'stroke-linecap="round"/>'
+        )
+        parts.append(
+            f'<circle cx="{legend_x + 9}" cy="{y}" r="3" fill="{colour}" '
+            f'stroke="{_SURFACE}" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 26}" y="{y + 4}" '
+            f'fill="{_INK_SECONDARY}" font-size="12">{escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,41 @@
+"""The terminal renderer: typed artefact blocks -> classic CLI text.
+
+This is the *single* text formatter for every artefact: the CLI's
+``table1``/``fig*``/``esw``/``ablation``/... commands print exactly
+``render_text(artifact)``. The output is byte-identical to the
+pre-report hand-written printers (golden-file tested), because the
+blocks carry the same raw values those printers formatted inline and
+the rendering goes through the same :func:`repro.experiments.
+render_table` / :func:`repro.experiments.render_plot` helpers.
+"""
+
+from __future__ import annotations
+
+from ..experiments.formatting import render_plot, render_table
+from .rows import Artifact, PlotBlock, TableBlock, TextBlock
+
+__all__ = ["render_text"]
+
+
+def render_text(artifact: Artifact) -> str:
+    """Render an artefact the way the CLI has always printed it."""
+    parts = []
+    for block in artifact.blocks:
+        if isinstance(block, TableBlock):
+            parts.append(
+                render_table(block.headers, block.rows, title=block.title)
+            )
+        elif isinstance(block, PlotBlock):
+            parts.append(
+                render_plot(
+                    block.x_values,
+                    dict(block.series),
+                    title=block.title,
+                    x_label=block.x_label,
+                )
+            )
+        elif isinstance(block, TextBlock):
+            parts.append("\n".join(block.lines))
+        else:  # pragma: no cover - the Block union is closed
+            raise TypeError(f"unknown block type {type(block).__name__}")
+    return "\n".join(parts)

@@ -6,6 +6,8 @@ treated as immutable by the tests.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro import KernelBuilder, Program
@@ -93,3 +95,30 @@ def tiny_lab() -> Lab:
 def claims_lab() -> Lab:
     """The lab used by the paper-claims integration tests."""
     return Lab(scale=8_000)
+
+
+@pytest.fixture(scope="session")
+def tiny_report_site(tmp_path_factory):
+    """A full report site built once at tiny scale, shared across tests.
+
+    Returns ``(out_dir, manifest, session)``. The session keeps its
+    in-memory caches, so a second ``build_report`` against it (for
+    determinism checks) is nearly free.
+    """
+    from repro import Session, build_report, generate_corpus
+    from repro.experiments import PRESETS
+
+    preset = PRESETS["tiny"]
+    out = tmp_path_factory.mktemp("report") / "site"
+    session = Session(scale=preset.scale)
+    session.store(tmp_path_factory.mktemp("store") / "results.sqlite")
+    corpus = generate_corpus(4, seed=0, scale=preset.scale)
+    manifest = build_report(
+        session,
+        preset,
+        out,
+        corpus=corpus,
+        bench_path=Path(__file__).resolve().parent.parent
+        / "BENCH_engine.json",
+    )
+    return out, manifest, session

@@ -166,6 +166,67 @@ class TestGeneratedWorkloadCommands:
         assert "family" in capsys.readouterr().err
 
 
+class TestReportCommands:
+    def test_report_builds_a_site_and_a_store(self, capsys, tmp_path):
+        out = tmp_path / "site"
+        store = tmp_path / "results.sqlite"
+        assert main([
+            "report", "--out", str(out), "--store", str(store),
+            "--corpus-size", "4",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "artefacts" in printed and str(out) in printed
+        assert "results in" in printed
+        assert (out / "index.md").exists()
+        assert (out / "table1.md").exists()
+        assert (out / "manifest.json").exists()
+        assert store.exists()
+        # The store now answers queries.
+        assert main([
+            "results", "--store", str(store), "--program", "flo52q",
+            "--limit", "3",
+        ]) == 0
+        listed = capsys.readouterr().out
+        assert "flo52q" in listed and "stored results" in listed
+
+    def test_report_scale_flag_after_subcommand(self, capsys, tmp_path):
+        out = tmp_path / "site"
+        assert main([
+            "report", "--scale", "tiny", "--out", str(out),
+            "--store", "none", "--corpus-size", "4",
+        ]) == 0
+        assert "tiny" in (out / "index.md").read_text()
+
+    def test_report_without_store(self, capsys, tmp_path):
+        out = tmp_path / "site"
+        assert main([
+            "report", "--out", str(out), "--store", "none",
+            "--corpus-size", "4",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "store:" not in printed
+
+    def test_results_on_missing_store(self, capsys, tmp_path):
+        assert main([
+            "results", "--store", str(tmp_path / "absent.sqlite"),
+        ]) == 0
+        assert "no results yet" in capsys.readouterr().out
+
+    def test_results_empty_filter_reports_no_results(
+        self, capsys, tmp_path
+    ):
+        # An existing store with zero matching rows degrades the same
+        # way as a missing one.
+        from repro.report import ResultStore
+
+        store = tmp_path / "results.sqlite"
+        ResultStore(store).close()
+        assert main([
+            "results", "--store", str(store), "--program", "nonesuch",
+        ]) == 0
+        assert "no results yet" in capsys.readouterr().out
+
+
 class TestSweepCommand:
     def test_preset(self, capsys):
         assert main(["sweep", "--preset", "bypass", "--program", "trfd"]) == 0

@@ -1,0 +1,41 @@
+"""Drift test: docs/cli.md must match the live argparse tree.
+
+Adding a subcommand or flag without regenerating the reference fails
+here with the regeneration command in the message.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_cli_docs", REPO / "tools" / "gen_cli_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_cli_reference_is_regenerated():
+    generator = _load_generator()
+    expected = generator.generate()
+    on_disk = (REPO / "docs" / "cli.md").read_text()
+    assert on_disk == expected, (
+        "docs/cli.md is out of date with the argparse tree; regenerate "
+        "with: PYTHONPATH=src python tools/gen_cli_docs.py"
+    )
+
+
+def test_every_subcommand_has_a_section():
+    from repro.cli import _build_parser
+
+    text = (REPO / "docs" / "cli.md").read_text()
+    parser = _build_parser()
+    generator = _load_generator()
+    for name, _, _ in generator._subparsers(parser):
+        assert f"## `repro {name}`" in text

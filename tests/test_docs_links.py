@@ -1,11 +1,13 @@
-"""Documentation link integrity.
+"""Documentation link integrity — checked-in pages and the generated site.
 
 Validates that every relative link in ``README.md`` and ``docs/*.md``
 resolves to a real file (and, for ``#fragment`` links, to a real
-heading), and that documentation paths mentioned in source docstrings
+heading), that documentation paths mentioned in source docstrings
 exist — so docstring/doc drift like the old ``DESIGN.md`` references
-cannot recur. Runs as part of the normal pytest suite and as a
-dedicated CI step.
+cannot recur — and that the ``repro report`` site links and anchors
+resolve within the generated output (Markdown pages, HTML pages, SVG
+images, the manifest). Runs as part of the normal pytest suite and as
+a dedicated CI step.
 """
 
 from __future__ import annotations
@@ -104,3 +106,59 @@ def test_readme_documents_every_docs_page():
         assert f"docs/{page.name}" in readme, (
             f"README.md does not link docs/{page.name}"
         )
+
+
+# -- the generated report site -----------------------------------------------------
+
+#: href/src attributes in generated HTML pages.
+_HTML_TARGET = re.compile(r"""(?:href|src)="([^"#]+)(?:#[^"]*)?\"""")
+
+
+def test_generated_report_markdown_links_resolve(tiny_report_site):
+    out, _, _ = tiny_report_site
+    problems = []
+    pages = sorted(out.glob("*.md"))
+    assert pages, "report site produced no markdown pages"
+    for page in pages:
+        text = page.read_text()
+        for target in _relative_links(text):
+            file_part, _, fragment = target.partition("#")
+            resolved = (out / file_part) if file_part else page
+            if not resolved.exists():
+                problems.append(f"{page.name}: {target!r} -> missing file")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in _headings(resolved.read_text()):
+                    problems.append(
+                        f"{page.name}: {target!r} -> no heading"
+                    )
+    assert not problems, "\n".join(problems)
+
+
+def test_generated_report_html_targets_resolve(tiny_report_site):
+    out, _, _ = tiny_report_site
+    problems = []
+    pages = sorted(out.glob("*.html"))
+    assert pages, "report site produced no html pages"
+    for page in pages:
+        for target in _HTML_TARGET.findall(page.read_text()):
+            if re.match(r"[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue
+            if not (out / target).exists():
+                problems.append(f"{page.name}: {target!r} -> missing file")
+    assert not problems, "\n".join(problems)
+
+
+def test_generated_report_pages_all_reachable_from_index(tiny_report_site):
+    out, manifest, _ = tiny_report_site
+    index = (out / "index.md").read_text()
+    for entry in manifest["artifacts"]:
+        assert f"({entry['slug']}.md)" in index, (
+            f"index.md does not link {entry['slug']}.md"
+        )
+
+
+def test_generated_report_manifest_lists_every_page(tiny_report_site):
+    out, manifest, _ = tiny_report_site
+    on_disk = sorted(p.name for p in out.iterdir())
+    assert on_disk == manifest["pages"]

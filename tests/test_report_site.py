@@ -1,0 +1,201 @@
+"""Tests for the report emitters, text renderer and static site."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Session, write_site
+from repro.experiments import PRESETS
+from repro.report import (
+    emit_table1,
+    render_text,
+)
+from repro.report.rows import PlotBlock, TableBlock, TextBlock
+from repro.report.svg import render_line_chart
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+class TestTextRenderer:
+    def test_blocks_render_like_the_classic_printers(self):
+        from repro.report.rows import Artifact
+
+        artifact = Artifact(
+            slug="x", title="X",
+            blocks=(
+                TableBlock(headers=("a", "b"), rows=((1, 2.5),), title="T"),
+                TextBlock(("tail line",)),
+            ),
+        )
+        assert render_text(artifact) == (
+            "T\na  b   \n-  ----\n1  2.50\ntail line"
+        )
+
+    def test_table1_matches_golden(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        preset = PRESETS["tiny"]
+        session = Session(scale=preset.scale)
+        text = render_text(emit_table1(session, preset))
+        assert text + "\n" == (GOLDEN / "table1.txt").read_text()
+
+
+class TestSvg:
+    def test_chart_is_valid_and_deterministic(self):
+        plot = PlotBlock(
+            x_values=(1.0, 2.0, 4.0),
+            series=(("a", (1.0, 2.0, 3.0)),
+                    ("b", (3.0, float("nan"), 1.0))),
+            title="demo", x_label="x", y_label="y",
+        )
+        first = render_line_chart(plot)
+        assert first.startswith("<svg ") and first.endswith("</svg>\n")
+        assert "demo" in first and "NaN" not in first
+        assert first == render_line_chart(plot)
+
+    def test_empty_series_renders_placeholder(self):
+        plot = PlotBlock(
+            x_values=(1.0,),
+            series=(("a", (float("nan"),)),),
+            title="hollow",
+        )
+        assert "(no finite data)" in render_line_chart(plot)
+
+
+class TestSite:
+    def test_manifest_covers_every_artifact(self, tiny_report_site):
+        out, manifest, _ = tiny_report_site
+        slugs = {entry["slug"] for entry in manifest["artifacts"]}
+        expected = {
+            "table1", "esw", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "ablation-issue-split", "ablation-partition",
+            "ablation-bypass", "ablation-expansion",
+            "ablation-hierarchy", "generalization", "kernels",
+            "generated",
+        }
+        assert expected <= slugs
+        for entry in manifest["artifacts"]:
+            assert (out / f"{entry['slug']}.md").exists()
+            assert (out / f"{entry['slug']}.html").exists()
+
+    def test_generalization_family_pages_exist(self, tiny_report_site):
+        out, manifest, _ = tiny_report_site
+        families = [
+            entry["slug"] for entry in manifest["artifacts"]
+            if entry["slug"].startswith("generalization-")
+        ]
+        assert families, "expected per-family generalization pages"
+        index = (out / "index.md").read_text()
+        for slug in families:
+            assert f"({slug}.md)" in index
+
+    def test_figure_pages_reference_svg_charts(self, tiny_report_site):
+        out, _, _ = tiny_report_site
+        for slug in ("fig4", "fig7"):
+            markdown = (out / f"{slug}.md").read_text()
+            assert f"![" in markdown and f"{slug}-0.svg" in markdown
+            assert (out / f"{slug}-0.svg").read_text().startswith("<svg ")
+
+    def test_bench_and_models_pages(self, tiny_report_site):
+        out, manifest, _ = tiny_report_site
+        assert "bench.md" in manifest["pages"]
+        bench = (out / "bench.md").read_text()
+        assert "engine throughput" in bench
+        models = (out / "models.md").read_text()
+        for name in ("dm", "swsm", "serial", "fixed", "hierarchy"):
+            assert name in models
+
+    def test_manifest_store_keys_back_each_artifact(self, tiny_report_site):
+        out, manifest, session = tiny_report_site
+        store = session.store()
+        stored = set(store.keys())
+        assert manifest["store"]["results"] == len(stored)
+        table1 = next(
+            entry for entry in manifest["artifacts"]
+            if entry["slug"] == "table1"
+        )
+        assert table1["store_keys"]
+        for entry in manifest["artifacts"]:
+            keys = entry["store_keys"]
+            assert keys == sorted(keys)
+            assert set(keys) <= stored
+        # kernels is static analysis: no simulated points back it.
+        kernels = next(
+            entry for entry in manifest["artifacts"]
+            if entry["slug"] == "kernels"
+        )
+        assert kernels["store_keys"] == []
+
+    def test_site_is_byte_identical_on_rebuild(
+        self, tiny_report_site, tmp_path
+    ):
+        from repro import build_report, generate_corpus
+
+        out, _, session = tiny_report_site
+        preset = PRESETS["tiny"]
+        corpus = generate_corpus(4, seed=0, scale=preset.scale)
+        again = tmp_path / "again"
+        build_report(
+            session, preset, again, corpus=corpus,
+            bench_path=Path(__file__).resolve().parent.parent
+            / "BENCH_engine.json",
+        )
+        first = sorted(p.name for p in out.iterdir())
+        second = sorted(p.name for p in again.iterdir())
+        assert first == second
+        for name in first:
+            assert (out / name).read_bytes() == (again / name).read_bytes(), (
+                f"{name} differs between warm-cache report runs"
+            )
+
+    def test_manifest_json_parses(self, tiny_report_site):
+        out, manifest, _ = tiny_report_site
+        on_disk = json.loads((out / "manifest.json").read_text())
+        assert on_disk == manifest
+        assert on_disk["scale"]["name"] == "tiny"
+
+
+class TestEmptySite:
+    @pytest.fixture()
+    def empty_site(self, tmp_path):
+        manifest = write_site([], tmp_path, PRESETS["tiny"])
+        return tmp_path, manifest
+
+    def test_no_results_yet_index(self, empty_site):
+        out, manifest = empty_site
+        index = (out / "index.md").read_text()
+        assert "No results yet" in index
+        assert manifest["artifacts"] == []
+        assert manifest["store"]["attached"] is False
+
+    def test_rerun_removes_stale_pages(self, tmp_path):
+        from repro.report.rows import Artifact, TextBlock
+
+        wide = [
+            Artifact(slug=slug, title=slug,
+                     blocks=(TextBlock((slug,)),))
+            for slug in ("table1", "generalization-chase")
+        ]
+        write_site(wide, tmp_path, PRESETS["tiny"])
+        assert (tmp_path / "generalization-chase.md").exists()
+        manifest = write_site(wide[:1], tmp_path, PRESETS["tiny"])
+        assert not (tmp_path / "generalization-chase.md").exists()
+        assert not (tmp_path / "generalization-chase.html").exists()
+        on_disk = sorted(p.name for p in tmp_path.iterdir())
+        assert on_disk == manifest["pages"]
+
+    def test_rerun_leaves_foreign_files_alone(self, tmp_path):
+        write_site([], tmp_path, PRESETS["tiny"])
+        foreign = tmp_path / "notes.txt"
+        foreign.write_text("mine")
+        write_site([], tmp_path, PRESETS["tiny"])
+        assert foreign.read_text() == "mine"
+
+    def test_empty_site_is_still_valid(self, empty_site):
+        out, manifest = empty_site
+        for page in ("index.md", "index.html", "models.md", "models.html",
+                     "manifest.json"):
+            assert (out / page).exists()
+        assert json.loads((out / "manifest.json").read_text()) == manifest

@@ -1,0 +1,254 @@
+"""Tests for the persistent results store (repro.report.store)."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro import Point, ResultStore, Session, Sweep
+from repro.api.spec import CACHE_FORMAT, MemorySpec, point_digest
+from repro.errors import StoreError
+from repro.report.store import SCHEMA_VERSION
+from repro.workloads.grammar import GRAMMAR_VERSION
+
+SCALE = 2_000
+
+
+@pytest.fixture()
+def session() -> Session:
+    session = Session(scale=SCALE)
+    session.store(ResultStore(":memory:"))
+    return session
+
+
+class TestRoundTrip:
+    def test_typed_row_round_trips(self, session):
+        point = Point(
+            program="trfd", machine="dm", window=16,
+            memory_differential=60,
+            memory=MemorySpec(kind="bypass", entries=64),
+        )
+        result = session.evaluate(point)
+        store = session.store()
+        assert len(store) == 1
+        (row,) = store.rows()
+        canonical = point  # dm reads every field used here
+        assert row.key == point_digest(
+            session._canonical(canonical), SCALE, session.latencies
+        )
+        assert row.program == "trfd"
+        assert row.machine == "dm"
+        assert row.window == 16
+        assert row.memory_differential == 60
+        assert row.memory["kind"] == "bypass"
+        assert row.memory["entries"] == 64
+        assert row.scale == SCALE
+        assert row.cycles == result.cycles
+        assert row.instructions == result.instructions
+        assert row.ipc == pytest.approx(result.ipc)
+        assert row.meta["bypass_hit_rate"] == result.meta["bypass_hit_rate"]
+        assert row.cache_format == CACHE_FORMAT
+        assert row.grammar_version is None
+        assert store.get(row.key) == row
+
+    def test_unlimited_window_round_trips_as_none(self, session):
+        session.evaluate(Point(program="trfd", machine="dm", window=None))
+        (row,) = session.store().rows()
+        assert row.window is None
+
+    def test_generated_program_records_grammar_version(self, session):
+        session.evaluate(Point(program="gen:streaming:1", window=8))
+        (row,) = session.store().rows()
+        assert row.grammar_version == GRAMMAR_VERSION
+
+
+class TestIncrementalUpsert:
+    def test_reevaluation_is_idempotent(self, session):
+        point = Point(program="trfd", machine="dm", window=16)
+        session.evaluate(point)
+        session.evaluate(point)  # memory-cache hit records again
+        assert len(session.store()) == 1
+
+    def test_repeated_sweep_appends_only_whats_new(self, session):
+        small = Sweep.grid(program="trfd", machine="dm", window=(8, 16))
+        session.run(small)
+        store = session.store()
+        first = len(store)
+        session.run(small)  # all cached: nothing new
+        assert len(store) == first
+        bigger = Sweep.grid(program="trfd", machine="dm",
+                            window=(8, 16, 32))
+        session.run(bigger)
+        assert len(store) == first + 1
+
+    def test_two_sessions_share_one_store_by_content(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        point = Point(program="trfd", machine="dm", window=16)
+        for _ in range(2):
+            session = Session(scale=SCALE)
+            session.store(path)
+            session.evaluate(point)
+        assert len(ResultStore(path)) == 1
+
+    def test_canonicalised_points_share_one_row(self, session):
+        # Serial ignores the window: every window is one canonical run.
+        for window in (8, 16, None):
+            session.evaluate(
+                Point(program="trfd", machine="serial", window=window)
+            )
+        assert len(session.store()) == 1
+
+    def test_custom_programs_stay_out(self, session, daxpy):
+        session.register_program(daxpy)
+        session.evaluate(Point(program="daxpy", machine="dm", window=8))
+        assert len(session.store()) == 0
+
+
+class TestSchemaVersioning:
+    def test_mismatch_raises_loudly(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        ResultStore(path).close()
+        con = sqlite3.connect(path)
+        con.execute("PRAGMA user_version = 99")
+        con.commit()
+        con.close()
+        with pytest.raises(StoreError, match="schema v99"):
+            ResultStore(path)
+
+    @pytest.mark.parametrize("table", ["results", "users"])
+    def test_unversioned_foreign_database_rejected(self, tmp_path, table):
+        # A foreign SQLite file (user_version 0 is the SQLite default)
+        # must never be adopted and mutated, whatever its tables.
+        path = tmp_path / "results.sqlite"
+        con = sqlite3.connect(path)
+        con.execute(f"CREATE TABLE {table} (key TEXT)")
+        con.commit()
+        con.close()
+        with pytest.raises(StoreError, match="foreign database"):
+            ResultStore(path)
+        con = sqlite3.connect(path)
+        names = {row[0] for row in con.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )}
+        con.close()
+        assert names == {table}, "foreign database was mutated"
+
+    def test_fresh_store_gets_current_version(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        ResultStore(path).close()
+        con = sqlite3.connect(path)
+        assert con.execute("PRAGMA user_version").fetchone()[0] == \
+            SCHEMA_VERSION
+        con.close()
+
+
+class TestQueries:
+    def test_filters_and_limit(self, session):
+        session.run(Sweep.grid(
+            program=("trfd", "adm"), machine=("dm", "swsm"), window=8
+        ))
+        store = session.store()
+        assert len(store) == 4
+        assert {r.program for r in store.rows(program="trfd")} == {"trfd"}
+        assert {r.machine for r in store.rows(machine="dm")} == {"dm"}
+        assert len(store.rows(limit=3)) == 3
+
+    def test_summary_counts(self, session):
+        session.run(Sweep.grid(
+            program=("trfd", "adm"), machine=("dm", "swsm"), window=8
+        ))
+        summary = session.store().summary()
+        assert summary == {
+            "results": 4, "programs": 2, "machines": 2, "scales": 1,
+        }
+
+    def test_rows_order_is_deterministic(self, session):
+        session.run(Sweep.grid(
+            program=("trfd", "adm"), machine=("dm", "swsm"),
+            window=(8, None),
+        ))
+        listed = [
+            (r.program, r.machine, r.window)
+            for r in session.store().rows()
+        ]
+        assert listed == sorted(
+            listed,
+            key=lambda item: (
+                item[0], item[1],
+                item[2] if item[2] is not None else 1 << 62,
+            ),
+        )
+
+    def test_keys_sorted(self, session):
+        session.run(Sweep.grid(
+            program="trfd", machine=("dm", "swsm"), window=8
+        ))
+        keys = session.store().keys()
+        assert keys == sorted(keys) and len(keys) == 2
+
+
+class TestSessionHook:
+    def test_store_accessor_and_detach(self):
+        session = Session(scale=SCALE)
+        assert session.store() is None
+        store = session.store(ResultStore(":memory:"))
+        assert session.store() is store
+        assert session.store(None) is None
+        assert session.store() is None
+
+    def test_store_accepts_a_path(self, tmp_path):
+        session = Session(scale=SCALE)
+        store = session.store(tmp_path / "results.sqlite")
+        assert isinstance(store, ResultStore)
+        session.evaluate(Point(program="trfd", window=8))
+        assert len(store) == 1
+
+    def test_disk_cache_hits_still_recorded(self, tmp_path):
+        point = Point(program="trfd", machine="dm", window=16)
+        warm = Session(scale=SCALE, cache_dir=tmp_path / "cache")
+        warm.evaluate(point)
+        session = Session(scale=SCALE, cache_dir=tmp_path / "cache")
+        store = session.store(ResultStore(":memory:"))
+        session.evaluate(point)
+        assert session.stats["disk_hits"] == 1
+        assert len(store) == 1
+
+    def test_track_groups_collect_keys(self, session):
+        store = session.store()
+        with store.track() as group:
+            session.evaluate(Point(program="trfd", window=8))
+            session.evaluate(Point(program="trfd", window=8))
+            session.evaluate(Point(program="trfd", window=16))
+        assert len(group) == 2
+        assert group.sorted() == sorted(store.keys())
+
+    def test_repeat_evaluations_stay_visible_to_later_groups(self, session):
+        # A second artefact re-evaluating a point the first already
+        # recorded must still see its key in the second group.
+        store = session.store()
+        point = Point(program="trfd", window=8)
+        with store.track() as first:
+            session.evaluate(point)
+        with store.track() as second:
+            session.evaluate(point)
+        assert first.sorted() == second.sorted()
+
+    def test_nested_track_groups_detach_correctly(self, session):
+        store = session.store()
+        with store.track() as outer:
+            session.evaluate(Point(program="trfd", window=8))
+            with store.track() as inner:
+                session.evaluate(Point(program="trfd", window=8))
+            # Inner exit must not detach the (equal-keyed) outer group.
+            session.evaluate(Point(program="trfd", window=16))
+        assert len(inner) == 1
+        assert len(outer) == 2
+
+    def test_reattaching_a_store_records_again(self, session, tmp_path):
+        point = Point(program="trfd", window=8)
+        session.evaluate(point)
+        fresh = session.store(tmp_path / "fresh.sqlite")
+        assert len(fresh) == 0
+        session.evaluate(point)  # memory hit, but a brand-new store
+        assert len(fresh) == 1

@@ -1,0 +1,53 @@
+"""Golden-file tests: CLI stdout is byte-identical to the pre-report CLI.
+
+The files under ``tests/golden/`` were captured from the CLI *before*
+the formatting moved into the report emitters; every command below must
+reproduce them byte-for-byte at the tiny scale. This pins the contract
+that the single text renderer over typed artefact rows is a drop-in
+replacement for the old hand-written printers — and protects the
+terminal output from accidental drift in future refactors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+COMMANDS = {
+    "table1": ["table1"],
+    "fig4": ["fig4"],
+    "fig7": ["fig7"],
+    "esw": ["esw"],
+    "kernels": ["kernels"],
+    "generate": ["generate"],
+    "ablation-issue-split": ["ablation", "--study", "issue-split"],
+    "ablation-partition": ["ablation", "--study", "partition"],
+    "ablation-bypass": ["ablation", "--study", "bypass"],
+    "ablation-expansion": ["ablation", "--study", "expansion"],
+    "ablation-hierarchy": ["ablation", "--study", "hierarchy"],
+    "ablation-generalization": [
+        "ablation", "--study", "generalization", "--size", "6",
+        "--seed", "0",
+    ],
+}
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+
+
+@pytest.mark.parametrize("name", sorted(COMMANDS), ids=sorted(COMMANDS))
+def test_cli_output_matches_golden(capsys, name):
+    assert main(COMMANDS[name]) == 0
+    out = capsys.readouterr().out
+    expected = (GOLDEN / f"{name}.txt").read_text()
+    assert out == expected, (
+        f"`repro {' '.join(COMMANDS[name])}` drifted from "
+        f"tests/golden/{name}.txt"
+    )
