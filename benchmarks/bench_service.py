@@ -1,0 +1,260 @@
+"""Service load benchmark: requests/sec and latency, cold vs warm.
+
+Boots ``repro serve`` in-process (ephemeral port) and drives the same
+sweep through the HTTP client in three phases:
+
+* **cold** — fresh result store and disk cache: the one job actually
+  simulates; its end-to-end submit → fetch latency is the baseline;
+* **warm** — the identical spec resubmitted many times: every request
+  coalesces onto the finished job and is answered from memory, so this
+  measures pure service overhead (requests/sec, p50/p90/p99 latency);
+* **warm-restart** — a *new* server on the same store with an empty
+  disk cache: rows are rehydrated from the store's payloads, proving
+  finished results survive a restart without re-simulation (simulation
+  is forcibly disabled during this phase).
+
+Asserts the acceptance bar — warm throughput at least 10x cold at any
+scale — and that a saturated queue answers 503 + ``Retry-After``
+promptly instead of hanging. All three phases are recorded in
+``BENCH_service.json`` alongside the engine trajectory.
+
+Run as a script for the full printout::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+from trajectory import record_service_rows
+
+from repro.api import Sweep
+from repro.api.session import Session
+from repro.errors import QueueFullError
+from repro.experiments import active_preset
+from repro.service import ServiceClient, ServiceConfig, start_server, stop_server
+
+#: Warm-phase round trips (each one submit + one fetch request).
+WARM_ROUNDS = 25
+
+#: The acceptance bar: warm requests/sec over cold requests/sec.
+WARM_OVER_COLD = 10.0
+
+
+def _sweep(name: str = "bench-service") -> Sweep:
+    return Sweep.grid(
+        name=name,
+        program="flo52q",
+        machine=("dm", "swsm"),
+        window=(8, 16, 32),
+        memory_differential=(0, 60),
+    )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+@contextlib.contextmanager
+def _simulation_forbidden():
+    """Fail loudly if anything tries to simulate inside the block."""
+    original = Session._simulate
+
+    def forbidden(self, canonical):
+        raise AssertionError(
+            "warm phase re-simulated a store-resident point"
+        )
+
+    Session._simulate = forbidden
+    try:
+        yield
+    finally:
+        Session._simulate = original
+
+
+@contextlib.contextmanager
+def _simulation_slowed(seconds: float):
+    """Pad every fresh simulation, to hold a worker busy briefly."""
+    original = Session._simulate
+
+    def slowed(self, canonical):
+        time.sleep(seconds)
+        return original(self, canonical)
+
+    Session._simulate = slowed
+    try:
+        yield
+    finally:
+        Session._simulate = original
+
+
+def _round_trip(client: ServiceClient, sweep: Sweep) -> dict:
+    job_id = client.submit_sweep(sweep)
+    return client.fetch(job_id, timeout=600)
+
+
+def _drive(scale: int, scale_name: str, workdir: Path, timer=None):
+    """The three phases; returns (rows for the trajectory, cold rows)."""
+    store_path = str(workdir / "results.sqlite")
+    sweep = _sweep()
+    requests_per_trip = 2  # submit + fetch (polls excluded on purpose)
+
+    # -- cold: fresh store, fresh cache; the job simulates ------------------------
+    config = ServiceConfig(
+        scale=scale,
+        workers=2,
+        port=0,
+        cache_dir=str(workdir / "cache"),
+        store_path=store_path,
+    )
+    server, scheduler, _ = start_server(config)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=600)
+
+    run = (lambda f: f()) if timer is None else timer
+    start = time.perf_counter()
+    cold_payload = run(lambda: _round_trip(client, sweep))
+    cold_seconds = time.perf_counter() - start
+    cold_rps = requests_per_trip / cold_seconds
+
+    # -- warm: same server, same spec, many clients -------------------------------
+    latencies = []
+    warm_start = time.perf_counter()
+    with _simulation_forbidden():
+        for _ in range(WARM_ROUNDS):
+            t0 = time.perf_counter()
+            payload = _round_trip(client, sweep)
+            latencies.append(time.perf_counter() - t0)
+            assert payload["rows"] == cold_payload["rows"]
+    warm_seconds = time.perf_counter() - warm_start
+    warm_rps = (WARM_ROUNDS * requests_per_trip) / warm_seconds
+    assert len(scheduler.jobs()) == 1, "warm requests spawned new jobs"
+    stop_server(server)
+
+    latencies.sort()
+    percentiles = {
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p90_ms": round(_percentile(latencies, 0.90) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+    # -- warm restart: new server, warm store, cold cache -------------------------
+    restart_config = ServiceConfig(
+        scale=scale,
+        workers=2,
+        port=0,
+        cache_dir=str(workdir / "cache-restart"),
+        store_path=store_path,
+    )
+    server2, _, _ = start_server(restart_config)
+    host2, port2 = server2.server_address[:2]
+    client2 = ServiceClient(f"http://{host2}:{port2}", timeout=600)
+    with _simulation_forbidden():
+        t0 = time.perf_counter()
+        restart_payload = _round_trip(client2, sweep)
+        restart_seconds = time.perf_counter() - t0
+    stop_server(server2)
+    assert restart_payload["rows"] == cold_payload["rows"]
+
+    assert warm_rps >= WARM_OVER_COLD * cold_rps, (
+        f"warm throughput {warm_rps:.1f} req/s is below "
+        f"{WARM_OVER_COLD}x cold ({cold_rps:.3f} req/s)"
+    )
+
+    rows = [
+        {
+            "scale": scale_name, "phase": "cold",
+            "points": len(sweep), "requests_per_s": round(cold_rps, 3),
+            "latency_s": round(cold_seconds, 4),
+        },
+        {
+            "scale": scale_name, "phase": "warm",
+            "points": len(sweep), "requests_per_s": round(warm_rps, 1),
+            **percentiles,
+        },
+        {
+            "scale": scale_name, "phase": "warm-restart",
+            "points": len(sweep),
+            "requests_per_s": round(
+                requests_per_trip / restart_seconds, 1
+            ),
+            "latency_s": round(restart_seconds, 4),
+        },
+    ]
+    return rows, cold_payload
+
+
+def _check_backpressure(scale: int) -> float:
+    """Saturate a one-slot queue; returns the 503's Retry-After."""
+    config = ServiceConfig(
+        scale=scale, workers=1, queue_limit=1, port=0, retry_after=2
+    )
+    server, _, _ = start_server(config)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30)
+    try:
+        with _simulation_slowed(1.0):
+            first = client.submit("point", {
+                "program": "flo52q", "window": 4,
+            })["id"]
+            deadline = time.monotonic() + 30
+            while client.job(first)["state"] == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            client.submit("point", {"program": "flo52q", "window": 5})
+            refused_at = time.perf_counter()
+            try:
+                client.submit("point", {"program": "flo52q", "window": 6})
+            except QueueFullError as error:
+                answered_in = time.perf_counter() - refused_at
+                assert error.status == 503
+                assert error.retry_after == 2.0
+                assert answered_in < 5.0, "503 took too long (hang?)"
+                return error.retry_after
+            raise AssertionError(
+                "saturated queue accepted a job instead of answering 503"
+            )
+    finally:
+        stop_server(server, timeout=60)
+
+
+def test_service_load(benchmark, preset, tmp_path):
+    rows, _ = _drive(
+        preset.scale,
+        preset.name,
+        tmp_path,
+        timer=lambda f: run_once(benchmark, f),
+    )
+    retry_after = _check_backpressure(preset.scale)
+    record_service_rows(rows)
+    print()
+    for row in rows:
+        print(f"  {row['phase']:<12} {row['requests_per_s']:>9} req/s  "
+              f"{json.dumps({k: v for k, v in row.items() if k.endswith('_ms') or k.endswith('_s')})}")
+    print(f"  backpressure: 503 + Retry-After {retry_after:.0f}s")
+
+
+def main() -> int:
+    preset = active_preset()
+    with tempfile.TemporaryDirectory() as workdir:
+        rows, _ = _drive(preset.scale, preset.name, Path(workdir))
+    retry_after = _check_backpressure(preset.scale)
+    record_service_rows(rows)
+    print(f"service load at scale={preset.name} ({preset.scale}):")
+    for row in rows:
+        print(f"  {json.dumps(row)}")
+    print(f"  backpressure: 503 + Retry-After {retry_after:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

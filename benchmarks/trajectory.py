@@ -82,3 +82,49 @@ _SCALE_ORDER = {"tiny": 0, "small": 1, "paper": 2, "huge": 3}
 def _row_order(key: tuple[str, str, str]):
     scale, machine, engine = key
     return (_SCALE_ORDER.get(scale, 99), scale, machine, engine)
+
+
+# -- the service load benchmark (BENCH_service.json) -------------------------------
+
+SERVICE_BENCH_PATH = BENCH_PATH.parent / "BENCH_service.json"
+
+_SERVICE_HEADER = {
+    "benchmark": "simulation-as-a-service load (benchmarks/bench_service.py)",
+    "protocol": "HTTP submit -> poll -> fetch against `repro serve` "
+                "booted in-process (stdlib ThreadingHTTPServer)",
+    "phases": {
+        "cold": "fresh result store and disk cache: the job simulates",
+        "warm": "same sweep resubmitted: coalesced/served from the "
+                "store, no re-simulation",
+        "warm-restart": "fresh server process on the warm store: rows "
+                        "rehydrated from store payloads",
+    },
+}
+
+
+def record_service_rows(
+    rows: list[dict], path: Path = SERVICE_BENCH_PATH
+) -> dict:
+    """Merge service load-benchmark rows (upsert by scale + phase)."""
+    payload = load_trajectory(path)
+    merged = {
+        (row["scale"], row["phase"]): row
+        for row in payload.get("rows", ())
+        if "phase" in row
+    }
+    for row in rows:
+        merged[(row["scale"], row["phase"])] = row
+    payload.pop("rows", None)
+    for stale in [key for key in payload if key not in _SERVICE_HEADER
+                  and key != "updated"]:
+        del payload[stale]
+    payload.update(_SERVICE_HEADER)
+    payload["updated"] = date.today().isoformat()
+    payload["rows"] = [
+        merged[key] for key in sorted(
+            merged,
+            key=lambda k: (_SCALE_ORDER.get(k[0], 99), k[0], k[1]),
+        )
+    ]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -13,7 +13,16 @@ The three layers:
 See docs/api.md for a guided tour.
 """
 
-from .spec import UNLIMITED, MemorySpec, Point, Sweep, load_sweep, point_digest
+from .spec import (
+    UNLIMITED,
+    MemorySpec,
+    Point,
+    Sweep,
+    load_sweep,
+    point_digest,
+    point_from_dict,
+    point_to_dict,
+)
 from .session import Session, SweepResult
 from .presets import (
     HIERARCHY_MEMORY_VARIANTS,
@@ -51,6 +60,8 @@ __all__ = [
     "load_sweep",
     "partition_sweep",
     "point_digest",
+    "point_from_dict",
+    "point_to_dict",
     "speedup_sweep",
     "table1_sweep",
 ]

@@ -99,6 +99,7 @@ class Session:
             "memory_hits": 0,
             "disk_hits": 0,
             "disk_misses": 0,
+            "store_hits": 0,
         }
 
     # -- persistent result store -------------------------------------------------
@@ -255,7 +256,33 @@ class Session:
         if loaded is not None:
             self._results[canonical] = loaded
             return loaded
+        loaded = self._store_load(canonical)
+        if loaded is not None:
+            self._results[canonical] = loaded
+            return loaded
         return None
+
+    def _store_load(self, canonical: Point) -> SimulationResult | None:
+        """Rehydrate a point from the attached result store, if resident.
+
+        This is what makes sweeps resumable: a killed-and-rerun sweep
+        against the same store only simulates the missing points — the
+        rest are served from the store's pickled payloads, exactly as a
+        disk-cache hit would be (the keys are the same content
+        addresses).
+        """
+        store = self._result_store
+        if store is None:
+            return None
+        key = point_digest(canonical, self.scale, self.latencies)
+        result = store.load(key)
+        if result is None:
+            return None
+        self.stats["store_hits"] += 1
+        # The row is already warehoused under this key; remember it so
+        # _record touches the key instead of re-pickling the result.
+        self._store_keys[canonical] = key
+        return result
 
     def _store(self, canonical: Point, result: SimulationResult) -> None:
         self._results[canonical] = result
@@ -341,17 +368,26 @@ class Session:
         }
         workers = min(jobs, len(pending))
         chunksize = max(1, len(pending) // (workers * 4))
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=context,
             initializer=_worker_init,
             initargs=(config,),
-        ) as pool:
+        )
+        try:
             for canonical, result in pool.map(
                 _worker_evaluate, pending, chunksize=chunksize
             ):
                 self._store(canonical, result)
                 self.stats["evaluated"] += 1
+        except BaseException:
+            # Ctrl-C (or any abort) must not hang waiting for queued
+            # work: cancel what hasn't started and return immediately —
+            # points already folded in stay cached, so a rerun resumes.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown()
 
     # -- disk cache --------------------------------------------------------------
 

@@ -56,6 +56,8 @@ __all__ = [
     "UNLIMITED",
     "load_sweep",
     "point_digest",
+    "point_from_dict",
+    "point_to_dict",
 ]
 
 #: Sentinel window meaning "as large as the program" (paper: unlimited).
@@ -231,6 +233,31 @@ def point_digest(
         doc["grammar"] = GRAMMAR_VERSION
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def point_to_dict(point: Point) -> dict:
+    """Plain-dict form of a point (JSON/TOML compatible, window None ->
+    ``"unl"``) — the same field spelling :meth:`Sweep.to_dict` uses for
+    its base point, and the wire format of the service API."""
+    return {
+        name: _value_to_plain(getattr(point, name))
+        for name in _POINT_FIELDS
+    }
+
+
+def point_from_dict(data: dict) -> Point:
+    """Inverse of :func:`point_to_dict`; tolerant of sparse dicts."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"point spec must be a table/object, got {data!r}")
+    unknown = sorted(set(data) - set(_POINT_FIELDS))
+    if unknown:
+        raise ConfigError(
+            f"unknown point field {unknown[0]!r}; "
+            f"point fields: {', '.join(_POINT_FIELDS)}"
+        )
+    return Point(**{
+        key: _value_from_plain(key, value) for key, value in data.items()
+    })
 
 
 AxisKey = str | tuple[str, ...]

@@ -289,6 +289,62 @@ def _build_parser() -> argparse.ArgumentParser:
         help="program for presets that take one (e.g. bypass, speedup)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP server "
+        "(submit/poll/fetch jobs over HTTP; see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads evaluating jobs",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued jobs before 503 backpressure",
+    )
+    serve.add_argument(
+        "--store",
+        default=".repro-results.sqlite",
+        metavar="FILE",
+        help="WAL-mode results store shared by the workers "
+        "(finished points are served from it without re-simulation); "
+        "'none' disables (default: .repro-results.sqlite)",
+    )
+    serve.add_argument(
+        "--site",
+        default=None,
+        metavar="DIR",
+        help="serve a built 'repro report' site under /v1/artifacts/",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to wait for running jobs on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-connection socket timeout in seconds",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=int,
+        default=1,
+        metavar="S",
+        help="Retry-After seconds sent with 503 backpressure",
+    )
+
     run = sub.add_parser("run", help="evaluate one operating point")
     run.add_argument("--program", required=True)
     run.add_argument("--machine", default="dm")
@@ -577,6 +633,28 @@ def _print_run(session: Session, args: argparse.Namespace) -> None:
         print(f"speedup over serial: {session.speedup(point):.3f}")
 
 
+def _serve_command(preset, args) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        scale=preset.scale,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        store_path=(
+            None if not args.store or args.store.lower() == "none"
+            else args.store
+        ),
+        site_dir=args.site,
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+        request_timeout=args.request_timeout,
+        retry_after=args.retry_after,
+    )
+    return serve(config)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -585,6 +663,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A mid-sweep Ctrl-C lands here after the session has already
+        # cancelled its pool workers: exit cleanly, no traceback. Work
+        # finished before the interrupt is in the caches for a rerun.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -619,6 +703,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _corpus_command(session, preset, args)
     elif command == "sweep":
         _print_sweep(session, _build_sweep(args))
+    elif command == "serve":
+        return _serve_command(preset, args)
     elif command == "run":
         _print_run(session, args)
     else:  # pragma: no cover - argparse enforces the choices

@@ -19,6 +19,8 @@ __all__ = [
     "ProjectionError",
     "KernelError",
     "StoreError",
+    "ServiceError",
+    "QueueFullError",
 ]
 
 
@@ -69,3 +71,30 @@ class KernelError(ReproError):
 
 class StoreError(ReproError):
     """A persistent result store is unreadable or schema-incompatible."""
+
+
+class ServiceError(ReproError):
+    """The simulation service refused or failed a request.
+
+    ``status`` carries the HTTP status code when the error crossed the
+    wire (client side), ``retry_after`` the server's suggested backoff
+    in seconds (from a 503 ``Retry-After`` header) when one was given.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is saturated (or draining); retry later.
+
+    Mapped to HTTP 503 with a ``Retry-After`` header by the server —
+    explicit backpressure instead of unbounded queueing.
+    """

@@ -21,6 +21,7 @@ programs). A schema-version mismatch on open raises
 from __future__ import annotations
 
 import json
+import pickle
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,7 +37,15 @@ __all__ = ["ResultStore", "StoredResult", "SCHEMA_VERSION"]
 
 #: Bump on any change to the row schema below; stores written by a
 #: different version refuse to open instead of silently misreading.
-SCHEMA_VERSION = 1
+#: v2 added the ``payload`` column (the pickled full result, same
+#: bytes as a disk-cache entry) so sweeps and the service layer can
+#: rehydrate store-resident points without re-simulating them.
+SCHEMA_VERSION = 2
+
+#: Writer lock patience, in seconds: how long a connection waits for a
+#: competing writer before giving up. With WAL journaling readers never
+#: block, so this only paces concurrent upserting sessions.
+BUSY_TIMEOUT_S = 10.0
 
 _CREATE = """
 CREATE TABLE IF NOT EXISTS results (
@@ -57,7 +66,8 @@ CREATE TABLE IF NOT EXISTS results (
     instructions        INTEGER NOT NULL,
     meta                TEXT NOT NULL,
     cache_format        INTEGER NOT NULL,
-    grammar_version     INTEGER
+    grammar_version     INTEGER,
+    payload             BLOB
 )
 """
 
@@ -68,9 +78,11 @@ _COLUMNS = (
     "cache_format", "grammar_version",
 )
 
+_INSERT_COLUMNS = (*_COLUMNS, "payload")
+
 _INSERT = (
-    f"INSERT OR IGNORE INTO results ({', '.join(_COLUMNS)}) "
-    f"VALUES ({', '.join('?' * len(_COLUMNS))})"
+    f"INSERT OR IGNORE INTO results ({', '.join(_INSERT_COLUMNS)}) "
+    f"VALUES ({', '.join('?' * len(_INSERT_COLUMNS))})"
 )
 
 
@@ -116,12 +128,35 @@ class ResultStore:
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            self._con = sqlite3.connect(str(path))
+            self._con = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_S)
         except sqlite3.Error as error:
             raise StoreError(f"cannot open result store {path}: {error}")
         self._init_schema(str(path))
+        self._tune_concurrency()
         self._seen: set[str] = set()
         self._groups: list[set[str]] = []
+
+    def _tune_concurrency(self) -> None:
+        """WAL journaling + a busy timeout: many readers, one writer.
+
+        Write-ahead logging lets a long ``repro report`` read coexist
+        with an upserting session (readers never block the writer, or
+        vice versa); the busy timeout makes competing *writers* queue
+        politely instead of failing fast with ``database is locked``.
+        In-memory stores have no journal file and keep the default
+        mode. Runs after the schema guard so a foreign database is
+        rejected before anything touches its journal mode.
+        """
+        try:
+            if self.path is not None:
+                self._con.execute("PRAGMA journal_mode=WAL")
+            self._con.execute(
+                f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_S * 1000)}"
+            )
+        except sqlite3.Error as error:  # pragma: no cover - exotic FS only
+            raise StoreError(
+                f"cannot configure result store concurrency: {error}"
+            )
 
     def _init_schema(self, label: str) -> None:
         try:
@@ -206,6 +241,7 @@ class ResultStore:
             _to_json(dict(result.meta)),
             CACHE_FORMAT,
             grammar_version,
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
         )
         self._con.execute(_INSERT, row)
         self._con.commit()
@@ -269,6 +305,25 @@ class ResultStore:
         )
         return [self._row_to_result(row) for row in
                 self._con.execute(query, params)]
+
+    def load(self, key: str) -> "SimulationResult | None":
+        """Rehydrate the full simulation result stored under ``key``.
+
+        Returns ``None`` when the key is absent or its payload is
+        unreadable (a corrupt blob is treated like a cache miss, the
+        same policy as the session's disk cache). This is what lets an
+        attached session — and the service layer — skip re-simulating
+        store-resident points entirely.
+        """
+        row = self._con.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            return None  # corrupt payload: treat as a miss, re-simulate
 
     def get(self, key: str) -> StoredResult | None:
         row = self._con.execute(

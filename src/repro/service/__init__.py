@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: an async job-queue HTTP server over
+:class:`~repro.api.Session` + :class:`~repro.report.ResultStore`.
+
+Three layers (see docs/service.md):
+
+* :mod:`repro.service.jobs` — the scheduling core: content-addressed
+  :class:`Job` identities (duplicate submissions coalesce onto one
+  in-flight job), a bounded priority queue with explicit backpressure,
+  and worker threads whose sessions share one disk cache and one
+  WAL-mode result store;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  front end (``repro serve``): submit → poll → fetch, result-store
+  reads, report-site pages, graceful drain on SIGTERM;
+* :mod:`repro.service.client` — a small typed ``urllib`` client used
+  by the tests, the load benchmark and the CI smoke check.
+"""
+
+from .client import ServiceClient
+from .jobs import JOB_STATES, Job, JobScheduler, ServiceConfig, result_rows
+from .server import ReproServer, serve, start_server, stop_server
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobScheduler",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "result_rows",
+    "serve",
+    "start_server",
+    "stop_server",
+]

@@ -1,0 +1,194 @@
+"""A small typed client for the service API (stdlib ``urllib`` only).
+
+Used by the tests, the load benchmark and the CI smoke check — and
+handy interactively::
+
+    from repro.api import Sweep
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8077")
+    job = client.submit_sweep(Sweep.grid(program="mdg",
+                                         machine=("dm", "swsm"),
+                                         window=(16, 64)))
+    payload = client.fetch(job, timeout=120)   # submit -> poll -> fetch
+    for row in payload["rows"]:
+        print(row["point"]["machine"], row["cycles"])
+
+Every non-2xx response raises :class:`~repro.errors.ServiceError`
+carrying the HTTP status (and, for 503 backpressure, the server's
+``Retry-After`` hint); queue saturation specifically raises
+:class:`~repro.errors.QueueFullError` so callers can implement
+retry-with-backoff by catching one type.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..api.spec import Point, Sweep, point_to_dict
+from ..errors import QueueFullError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+#: Job states that end a wait().
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read() or b"{}")
+                payload["_status"] = response.status
+                retry_after = response.headers.get("Retry-After")
+                if retry_after is not None:
+                    payload["_retry_after"] = float(retry_after)
+                return payload
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
+    @staticmethod
+    def _to_error(error: urllib.error.HTTPError) -> ServiceError:
+        try:
+            doc = json.loads(error.read() or b"{}")
+            message = doc.get("error", f"HTTP {error.code}")
+        except (ValueError, OSError):
+            message = f"HTTP {error.code}"
+        retry_after = error.headers.get("Retry-After")
+        retry = float(retry_after) if retry_after else None
+        cls = QueueFullError if error.code == 503 else ServiceError
+        return cls(message, status=error.code, retry_after=retry)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self, kind: str, spec: dict, priority: int = 0
+    ) -> dict:
+        """Low-level submit; returns the job description (with id)."""
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            {"kind": kind, "spec": spec, "priority": priority},
+        )
+
+    def submit_point(self, point: Point, priority: int = 0) -> str:
+        """Submit one operating point; returns the job id."""
+        return self.submit("point", point_to_dict(point), priority)["id"]
+
+    def submit_sweep(self, sweep: Sweep, priority: int = 0) -> str:
+        """Submit a whole sweep grid; returns the job id."""
+        return self.submit("sweep", sweep.to_dict(), priority)["id"]
+
+    # -- poll / fetch -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """Poll one job's state."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in _TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def result(self, job_id: str) -> dict:
+        """Fetch a finished job's rows (raises unless state is done)."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if payload["_status"] == 202:
+            raise ServiceError(
+                f"job {job_id} is still {payload.get('state')}",
+                status=202,
+                retry_after=payload.get("_retry_after"),
+            )
+        return payload
+
+    def fetch(self, job_id: str, timeout: float = 60.0) -> dict:
+        """Wait for the job, then fetch its rows; raises on fail/cancel."""
+        job = self.wait(job_id, timeout=timeout)
+        if job["state"] != "done":
+            raise ServiceError(
+                f"job {job_id} ended {job['state']}: "
+                f"{job.get('error') or 'no result'}"
+            )
+        return self.result(job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def results(
+        self,
+        program: str | None = None,
+        machine: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """Rows straight from the server's result store."""
+        params = []
+        for name, value in (
+            ("program", program), ("machine", machine), ("limit", limit)
+        ):
+            if value is not None:
+                params.append(f"{name}={value}")
+        query = f"?{'&'.join(params)}" if params else ""
+        return self._request("GET", f"/v1/results{query}")
+
+    def artifact(self, path: str) -> bytes:
+        """One page of the served report site, as raw bytes."""
+        url = f"{self.base_url}/v1/artifacts/{path.lstrip('/')}"
+        request = urllib.request.Request(
+            url, headers={"Accept": "*/*"}, method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None

@@ -283,3 +283,17 @@ class TestRunCommand:
     def test_unknown_machine_clean_error(self, capsys):
         assert main(["run", "--program", "trfd", "--machine", "warp"]) == 2
         assert "unknown machine" in capsys.readouterr().err
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_cleanly(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupted(session):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "emit_kernels", interrupted)
+        assert main(["kernels"]) == 130
+        captured = capsys.readouterr()
+        assert "repro: interrupted" in captured.err
+        assert "Traceback" not in captured.err

@@ -252,3 +252,61 @@ class TestSessionHook:
         assert len(fresh) == 0
         session.evaluate(point)  # memory hit, but a brand-new store
         assert len(fresh) == 1
+
+
+class TestConcurrencyPragmas:
+    def test_file_store_opens_in_wal_mode_with_busy_timeout(self, tmp_path):
+        store = ResultStore(tmp_path / "wal.sqlite")
+        mode = store._con.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        timeout = store._con.execute("PRAGMA busy_timeout").fetchone()[0]
+        assert timeout >= 1_000  # milliseconds
+        store.close()
+
+    def test_reader_coexists_with_writer(self, tmp_path):
+        """A second connection reads while the first keeps upserting."""
+        path = tmp_path / "shared.sqlite"
+        writer_session = Session(scale=SCALE)
+        writer_session.store(path)
+        writer_session.evaluate(Point(program="trfd", window=8))
+
+        reader = ResultStore(path)
+        assert len(reader.rows()) == 1
+        writer_session.evaluate(Point(program="trfd", window=16))
+        assert len(reader.rows()) == 2  # sees the new row, no lock error
+        reader.close()
+
+    def test_memory_store_skips_wal(self):
+        store = ResultStore(":memory:")
+        mode = store._con.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "memory"
+        store.close()
+
+
+class TestPayloads:
+    def test_load_rehydrates_the_full_result(self, session):
+        point = Point(program="trfd", machine="dm", window=16,
+                      memory_differential=60)
+        result = session.evaluate(point)
+        store = session.store()
+        key = point_digest(
+            session._canonical(point), SCALE, session.latencies
+        )
+        loaded = store.load(key)
+        assert loaded == result  # the whole dataclass, not just cycles
+
+    def test_load_unknown_key_is_none(self, session):
+        assert session.store().load("f" * 64) is None
+
+    def test_corrupt_payload_is_a_miss(self, session):
+        point = Point(program="trfd", window=8)
+        session.evaluate(point)
+        store = session.store()
+        key = store.keys()[0]
+        store._con.execute(
+            "UPDATE results SET payload = ? WHERE key = ?",
+            (b"not a pickle", key),
+        )
+        store._con.commit()
+        assert store.load(key) is None
+        assert store.get(key) is not None  # typed row still readable

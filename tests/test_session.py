@@ -283,3 +283,104 @@ class TestStatefulMemoryMeta:
         assert disk_hit.meta == fresh.meta
         resimulated = Session(scale=SCALE).evaluate(point)
         assert resimulated.meta == fresh.meta
+
+
+class TestStoreResidentSkip:
+    """Sweeps resume from an attached store: only missing points run."""
+
+    def _sweep(self) -> Sweep:
+        return Sweep.grid(
+            name="resume",
+            program="trfd",
+            machine="dm",
+            window=(4, 8, 16, 32),
+            memory_differential=60,
+        )
+
+    def test_rerun_simulates_only_the_missing_points(self, tmp_path):
+        sweep = self._sweep()
+        points = list(sweep.points())
+        store_path = tmp_path / "resume.sqlite"
+
+        # "Killed" partway: the first session only got through half.
+        first = Session(scale=SCALE)
+        first.store(store_path)
+        for point in points[:2]:
+            first.evaluate(point)
+        first.store().close()
+
+        second = Session(scale=SCALE)
+        second.store(store_path)
+        outcome = second.run(sweep)
+        assert second.stats["evaluated"] == len(points) - 2
+        assert second.stats["store_hits"] == 2
+
+        # Parity: rehydrated results equal a from-scratch run.
+        reference = Session(scale=SCALE).run(sweep)
+        assert outcome.cycles() == reference.cycles()
+        assert outcome.results == reference.results
+
+    def test_parallel_prefetch_skips_store_resident_points(self, tmp_path):
+        sweep = self._sweep()
+        points = list(sweep.points())
+        store_path = tmp_path / "resume-par.sqlite"
+
+        first = Session(scale=SCALE)
+        first.store(store_path)
+        for point in points[:3]:
+            first.evaluate(point)
+        first.store().close()
+
+        second = Session(scale=SCALE)
+        second.store(store_path)
+        outcome = second.run(sweep, jobs=2)
+        assert second.stats["evaluated"] == len(points) - 3
+        assert outcome.cycles() == Session(scale=SCALE).run(sweep).cycles()
+
+    def test_disk_cache_wins_over_store(self, tmp_path):
+        # With both attached, the disk cache answers first (it needs no
+        # SQLite query); the store only fills genuine disk misses.
+        point = Point(program="trfd", machine="dm", window=16,
+                      memory_differential=60)
+        warm = Session(scale=SCALE, cache_dir=tmp_path / "cache")
+        warm.store(tmp_path / "s.sqlite")
+        warm.evaluate(point)
+        warm.store().close()
+
+        second = Session(scale=SCALE, cache_dir=tmp_path / "cache")
+        second.store(tmp_path / "s.sqlite")
+        second.evaluate(point)
+        assert second.stats["disk_hits"] == 1
+        assert second.stats["store_hits"] == 0
+
+    def test_store_hit_still_tracked_for_manifests(self, tmp_path):
+        point = Point(program="trfd", machine="dm", window=16,
+                      memory_differential=60)
+        first = Session(scale=SCALE)
+        first.store(tmp_path / "t.sqlite")
+        first.evaluate(point)
+        first.store().close()
+
+        second = Session(scale=SCALE)
+        store = second.store(tmp_path / "t.sqlite")
+        with store.track() as group:
+            second.evaluate(point)
+        assert len(group) == 1  # rehydrated points stay manifest-visible
+
+
+class TestInterrupt:
+    def test_interrupt_mid_parallel_sweep_cancels_and_raises(
+        self, monkeypatch
+    ):
+        """Ctrl-C during the pool fold must propagate promptly, not hang
+        on queued futures (the executor is shut down with
+        cancel_futures)."""
+        session = Session(scale=SCALE)
+        sweep = speedup_sweep("trfd", windows=(4, 8), differentials=(0, 60))
+
+        def boom(self, canonical, result):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Session, "_store", boom)
+        with pytest.raises(KeyboardInterrupt):
+            session.run(sweep, jobs=2)

@@ -1,0 +1,84 @@
+"""CI smoke check for the simulation service (see docs/service.md).
+
+Boots `repro serve` in-process on an ephemeral port, drives one sweep
+through the HTTP client, and asserts the rows coming back over HTTP
+are byte-for-byte identical to the rows a direct Session produces for
+the same points — the service is a transport, not a different answer.
+
+Usage (CI runs it at tiny scale):
+
+    REPRO_SCALE=tiny PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import Session, Sweep  # noqa: E402
+from repro.experiments import active_preset  # noqa: E402
+from repro.service import (  # noqa: E402
+    ServiceClient,
+    ServiceConfig,
+    result_rows,
+    start_server,
+    stop_server,
+)
+
+
+def main() -> int:
+    preset = active_preset()
+    sweep = Sweep.grid(
+        name="service-smoke",
+        program="flo52q",
+        machine=("dm", "swsm"),
+        window=(8, 32),
+        memory_differential=(0, 60),
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        config = ServiceConfig(
+            scale=preset.scale,
+            workers=2,
+            port=0,
+            cache_dir=str(Path(workdir) / "cache"),
+            store_path=str(Path(workdir) / "results.sqlite"),
+        )
+        server, _, _ = start_server(config)
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=600)
+        try:
+            health = client.health()
+            assert health["status"] == "ok", health
+            job_id = client.submit_sweep(sweep)
+            payload = client.fetch(job_id, timeout=600)
+        finally:
+            stop_server(server)
+
+    session = Session(scale=preset.scale)
+    outcome = session.run(sweep)
+    direct = result_rows(
+        outcome.points, outcome.results, preset.scale, config.latencies
+    )
+
+    served = json.dumps(payload["rows"], sort_keys=True)
+    expected = json.dumps(direct, sort_keys=True)
+    if served != expected:
+        print("service smoke: FAIL — served rows differ from direct Session")
+        print(f"  served:   {served[:400]}")
+        print(f"  expected: {expected[:400]}")
+        return 1
+
+    print(
+        f"service smoke: OK — {len(direct)} rows over HTTP byte-identical "
+        f"to direct Session (scale={preset.name})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
