@@ -12,6 +12,12 @@ per-access fallback gap has closed: bypass-style models ride the
 speculative schedule fixed point (docs/timing.md), the rest the
 chunked issue-order path.
 
+The event-heap tiers (``measure_events``) time the event scheduler
+against the per-cycle probing loop on
+dm+{banked,prefetch,hierarchy,banked-long} — the time-sensitive /
+long-latency models it was built for — and assert it wins on the
+long-latency ``banked-long`` tier at ``paper`` and ``huge`` scale.
+
 Run the full comparison as a script::
 
     PYTHONPATH=src python benchmarks/bench_engine_soa.py
@@ -22,22 +28,43 @@ benchmark suite stays fast.
 
 from __future__ import annotations
 
+import os
 import time
 
 from trajectory import record_engine_rows
 
 from repro import DMConfig, DecoupledMachine, SWSMConfig, SuperscalarMachine
 from repro.api.presets import HIERARCHY_MEMORY_VARIANTS
-from repro.config import UnitConfig
+from repro.config import DEFAULT_LATENCIES, UnitConfig
 from repro.experiments.scales import PRESETS
 from repro.kernels import build_kernel
 from repro.machines import simulate, simulate_objects
-from repro.memory import FixedLatencyMemory
+from repro.machines.engine import _simulate_probing
+from repro.memory import BankedMemory, FixedLatencyMemory
 from repro.partition import Unit
 
 WINDOW = 32
 MEMORY_DIFFERENTIAL = 60
 SCALES = ("small", "paper", "huge")
+
+#: Scales at which the event-heap tiers are measured by ``main`` and
+#: at which the events-beat-probing assertion is enforced (tiny-scale
+#: CI runs record rows but stay out of the noise).
+EVENT_SCALES = ("paper", "huge")
+
+#: The time-sensitive tiers the event engine targets, as memory
+#: factories. ``banked-long`` stretches the banked model to
+#: pointer-chase latencies (1200-cycle differential, two banks, long
+#: bank occupancy) — the long-latency tier the events-beat-probing
+#: assertion targets.
+EVENT_MODELS = tuple(
+    [
+        (label, (lambda s: lambda: s.build(MEMORY_DIFFERENTIAL))(spec))
+        for label, spec in HIERARCHY_MEMORY_VARIANTS
+        if label in ("banked", "prefetch", "hierarchy")
+    ]
+    + [("banked-long", lambda: BankedMemory(extra=1200, banks=2, busy=64))]
+)
 
 #: The stateful models of the memory-hierarchy scenario space — the
 #: exact configurations the hierarchy ablation preset ships, built at
@@ -168,6 +195,89 @@ def measure_stateful(scale_name: str, rounds: int = 3) -> list[dict]:
     return rows
 
 
+def measure_events(scale_name: str, rounds: int = 3) -> list[dict]:
+    """Event-heap scheduler vs the per-cycle probing loop.
+
+    Covers the dm+{banked,prefetch,hierarchy,banked-long} tiers: the
+    models with long or irregular stateful latencies the event engine
+    was built for. The probing loop runs with probes off, so the
+    comparison is pure scheduling strategy; rounds are interleaved
+    (one event run, one probing run, repeat) so clock drift hits both
+    engines equally. On the long-latency ``banked-long`` tier at
+    ``EVENT_SCALES`` the event engine must measurably win; every tier
+    additionally asserts cycle parity.
+    """
+    program = build_kernel("flo52q", PRESETS[scale_name].scale)
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    compiled = dm.compile(program)
+    low = compiled.lowered()
+    configs = {Unit.AU: dm.config.au, Unit.DU: dm.config.du}
+    instructions = compiled.num_instructions
+    rows = []
+    previous = os.environ.get("REPRO_EVENT_ENGINE")
+    os.environ["REPRO_EVENT_ENGINE"] = "events"
+    try:
+        for label, make_memory in EVENT_MODELS:
+            def run_probing(memory):
+                return _simulate_probing(
+                    low, compiled, configs, memory, DEFAULT_LATENCIES,
+                    False, False, False, None,
+                )
+
+            event_result = simulate(compiled, configs, make_memory())
+            probing_result = run_probing(make_memory())
+            assert event_result.cycles == probing_result.cycles, (
+                f"engines disagree on dm+{label}@{scale_name}: "
+                f"{event_result.cycles} vs {probing_result.cycles}"
+            )
+            event_seconds = probing_seconds = float("inf")
+            for _ in range(rounds):
+                start = time.perf_counter()
+                simulate(compiled, configs, make_memory())
+                event_seconds = min(
+                    event_seconds, time.perf_counter() - start
+                )
+                start = time.perf_counter()
+                run_probing(make_memory())
+                probing_seconds = min(
+                    probing_seconds, time.perf_counter() - start
+                )
+            if label == "banked-long" and scale_name in EVENT_SCALES:
+                assert event_seconds < probing_seconds, (
+                    f"event engine lost to the probing loop on the "
+                    f"long-latency banked tier @ {scale_name}: "
+                    f"{event_seconds:.4f}s vs {probing_seconds:.4f}s"
+                )
+            base = {
+                "scale": scale_name,
+                "machine": f"dm+{label}",
+                "memory": make_memory().describe(),
+                "instructions": instructions,
+                "cycles": event_result.cycles,
+            }
+            rows.append({
+                **base,
+                "engine": "probing",
+                "seconds": round(probing_seconds, 6),
+                "ips": round(instructions / probing_seconds),
+            })
+            rows.append({
+                **base,
+                "engine": "events",
+                "seconds": round(event_seconds, 6),
+                "ips": round(instructions / event_seconds),
+                "speedup_vs_probing": round(
+                    probing_seconds / event_seconds, 2
+                ),
+            })
+    finally:
+        if previous is None:
+            del os.environ["REPRO_EVENT_ENGINE"]
+        else:
+            os.environ["REPRO_EVENT_ENGINE"] = previous
+    return rows
+
+
 def test_soa_engine_matches_and_records(preset):
     """Parity plus one recorded tier (the active ``REPRO_SCALE``)."""
     scale_name = preset.name if preset.name in PRESETS else "small"
@@ -183,11 +293,28 @@ def test_soa_engine_matches_and_records(preset):
             )
 
 
+def test_event_engine_tiers_recorded(preset):
+    """Event-heap tiers for the active scale, recorded in the
+    trajectory; the events-beat-probing assertion arms at paper+."""
+    scale_name = preset.name if preset.name in PRESETS else "small"
+    rows = measure_events(scale_name, rounds=2)
+    record_engine_rows(rows)
+    for row in rows:
+        if row["engine"] == "events":
+            print(
+                f"\n{row['machine']}@{row['scale']}: "
+                f"{row['ips'] / 1e6:.2f}M inst/s, "
+                f"{row['speedup_vs_probing']:.1f}x over the probing loop"
+            )
+
+
 def main() -> None:
     all_rows = []
     for scale_name in SCALES:
         all_rows.extend(measure_scale(scale_name))
         all_rows.extend(measure_stateful(scale_name))
+    for scale_name in EVENT_SCALES:
+        all_rows.extend(measure_events(scale_name))
     record_engine_rows(all_rows)
     print(f"{'scale':8} {'machine':12} {'old ips':>12} {'new ips':>12} "
           f"{'speedup':>8}")
@@ -199,6 +326,16 @@ def main() -> None:
             new = by_key[(scale_name, machine_name, "soa")]
             print(f"{scale_name:8} {machine_name:12} {old['ips']:>12,} "
                   f"{new['ips']:>12,} {new['speedup_vs_objects']:>7.1f}x")
+    print(f"\n{'scale':8} {'machine':14} {'probing ips':>12} "
+          f"{'events ips':>12} {'speedup':>8}")
+    for scale_name in EVENT_SCALES:
+        for label, _ in EVENT_MODELS:
+            machine_name = f"dm+{label}"
+            probing = by_key[(scale_name, machine_name, "probing")]
+            events = by_key[(scale_name, machine_name, "events")]
+            print(f"{scale_name:8} {machine_name:14} {probing['ips']:>12,} "
+                  f"{events['ips']:>12,} "
+                  f"{events['speedup_vs_probing']:>7.1f}x")
 
 
 if __name__ == "__main__":

@@ -46,6 +46,10 @@ _HEADER = {
         "soa": "struct-of-arrays engine (repro.machines.engine.simulate)",
         "objects": "pre-SoA object engine "
                    "(repro.machines.engine_objects.simulate_objects)",
+        "events": "event-heap scheduler (REPRO_EVENT_ENGINE=events; "
+                  "docs/timing.md, 'Event scheduling')",
+        "probing": "per-cycle probing loop, probes off (the engine's "
+                   "pre-event baseline for time-sensitive models)",
     },
     "machines": {
         "dm": "access decoupled machine, fixed-differential memory",

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..config import LatencyModel
+from ..errors import ConfigError
 from ..ir import Program
 from ..ir.transforms import expand_code
 from ..kernels import build_kernel
@@ -76,6 +77,13 @@ class Session:
         cache_dir: directory of the content-addressed result cache;
             ``None`` disables disk caching.
         jobs: default process-pool width for :meth:`run` (1 = serial).
+        engine: scheduling-engine strategy override, forwarded to the
+            simulation engine (and to pool workers) through the
+            ``REPRO_EVENT_ENGINE`` toggle: ``"events"`` forces the
+            event-heap scheduler, ``"soa"`` the cycle loops, ``"auto"``
+            the capability-driven choice; ``None`` (default) leaves
+            the process environment in charge. Every strategy is
+            bit-exact, so cache keys do not cover this knob.
     """
 
     scale: int = 20_000
@@ -85,8 +93,14 @@ class Session:
     latencies: LatencyModel = field(default_factory=LatencyModel)
     cache_dir: str | Path | None = None
     jobs: int = 1
+    engine: str | None = None
 
     def __post_init__(self) -> None:
+        if self.engine not in (None, "auto", "events", "soa"):
+            raise ConfigError(
+                "engine must be one of None, 'auto', 'events', 'soa'; "
+                f"got {self.engine!r}"
+            )
         self._programs: dict[tuple[str, float], Program] = {}
         self._custom: dict[str, Program] = {}
         self._compiled: dict[tuple[str, float, str, str], object] = {}
@@ -304,9 +318,22 @@ class Session:
             else max(len(program), 1)
         )
         memory = canonical.memory.build(canonical.memory_differential)
-        result = model.simulate(
-            compiled, canonical, window, memory, self.latencies
-        )
+        if self.engine is None:
+            result = model.simulate(
+                compiled, canonical, window, memory, self.latencies
+            )
+        else:
+            previous = os.environ.get("REPRO_EVENT_ENGINE")
+            os.environ["REPRO_EVENT_ENGINE"] = self.engine
+            try:
+                result = model.simulate(
+                    compiled, canonical, window, memory, self.latencies
+                )
+            finally:
+                if previous is None:
+                    del os.environ["REPRO_EVENT_ENGINE"]
+                else:
+                    os.environ["REPRO_EVENT_ENGINE"] = previous
         extras = memory.stats()
         if extras:
             # Stateful models report their hit/conflict counters
@@ -365,6 +392,7 @@ class Session:
             "du_width": self.du_width,
             "swsm_width": self.swsm_width,
             "latencies": self.latencies,
+            "engine": self.engine,
         }
         workers = min(jobs, len(pending))
         chunksize = max(1, len(pending) // (workers * 4))

@@ -30,9 +30,22 @@ declared capability picks the strategy:
   (:func:`_simulate_speculative`): guess a per-gid table, run at full
   table speed (steady-state skip included), replay the model over the
   resulting access stream, and verify the guess — exact whenever it
-  converges. Models that decline (or fail to converge) run in the
-  same fast loop with one chunked, issue-ordered query per unit per
-  cycle covering exactly the memory accesses issued that cycle.
+  converges. Models that decline (or fail to converge) run either in
+  the same fast loop with one chunked, issue-ordered query per unit
+  per cycle, or — when the model reports ``time_sensitive`` stateful
+  behaviour (bank queuing, in-flight prefetch arrivals) — in the
+  **event-heap scheduler** (:func:`_simulate_events`): one global
+  min-heap of ``(time, seq, event)`` entries for dispatches,
+  completions and memory arrivals, advancing the clock straight to
+  the next event with deterministic FIFO tie-breaking at equal
+  timestamps (docs/timing.md, "Event scheduling").
+
+The ``REPRO_EVENT_ENGINE`` environment toggle overrides the automatic
+choice (``events`` forces the event heap for every no-probe strategy,
+``soa`` disables it, ``auto`` — the default — reserves it for
+time-sensitive stateful models); whichever route runs, the schedule is
+bit-exact. The strategy chosen by the most recent :func:`simulate`
+call is recorded in :data:`LAST_STRATEGY` for tests and benchmarks.
 
 A separate probing loop carries the buffer/ESW probes; it uses the
 same chunked queries. All loops are event-driven — idle cycles are
@@ -75,10 +88,47 @@ def _period_skip_enabled() -> bool:
     return os.environ.get("REPRO_PERIOD_SKIP", "1") != "0"
 
 
+#: ``REPRO_EVENT_ENGINE`` spellings that force / forbid the event heap.
+_EVENT_FORCE = frozenset({"1", "on", "force", "events"})
+_EVENT_OFF = frozenset({"0", "off", "soa"})
+
+#: Event-heap keys pack ``(time << _TIME_SHIFT) | seq`` into one int so
+#: heap comparisons are single integer compares. 40 bits of ``seq``
+#: (one per pushed event, ~10^12) far exceeds any reachable run.
+_TIME_SHIFT = 40
+_SEQ_MASK = (1 << _TIME_SHIFT) - 1
+
+
+def _event_engine_mode() -> str:
+    """Resolve the ``REPRO_EVENT_ENGINE`` toggle to force/off/auto."""
+    value = os.environ.get("REPRO_EVENT_ENGINE", "auto").strip().lower()
+    if value in _EVENT_FORCE:
+        return "force"
+    if value in _EVENT_OFF:
+        return "off"
+    return "auto"
+
+
 #: Cumulative steady-state accelerator activity, for tests and
 #: benchmarks that want to assert the skip path was (not) taken. Not
 #: part of the public API.
-PERF_COUNTERS = {"steady_skips": 0, "skipped_instructions": 0}
+PERF_COUNTERS = {
+    "steady_skips": 0,
+    "skipped_instructions": 0,
+    "event_runs": 0,
+}
+
+#: Strategy chosen by the most recent :func:`simulate` call — one of
+#: ``uniform-table``, ``stateless-table``, ``speculative``,
+#: ``chunked``, ``events-table``, ``events-chunked`` or ``probing``.
+#: Diagnostic only (tests, benchmarks); not part of the public API.
+LAST_STRATEGY = "none"
+
+
+def _chosen(strategy: str, result: SimulationResult) -> SimulationResult:
+    global LAST_STRATEGY
+    LAST_STRATEGY = strategy
+    return result
 
 
 @dataclass(frozen=True)
@@ -153,29 +203,46 @@ def simulate(
 
     low = program.lowered()
     if not probe_buffers and not probe_esw and low.min_latency >= 1:
+        mode = _event_engine_mode()
+        # Every event the heap scheduler pushes must be strictly in the
+        # future; ``mem_base >= 1`` (with ``min_latency >= 1`` above)
+        # guarantees it for memory arrivals too.
+        events_ok = latencies.mem_base >= 1
+        forced = mode == "force" and events_ok
         uniform = memory.uniform_extra_latency()
         if uniform is None and not low.memory_gids:
             uniform = 0  # no accesses: any model degenerates to uniform
         if uniform is not None:
             # One constant: precomputed table, steady-state skip armed.
             addlat = low.addlat_for(latencies.mem_base + uniform)
-            return _simulate_fast(
+            if forced:
+                return _chosen("events-table", _simulate_events(
+                    low, program, unit_configs, memory, addlat, latencies,
+                    collect_issue_times, max_cycles, chunked=False,
+                ))
+            return _chosen("uniform-table", _simulate_fast(
                 low, program, unit_configs, memory, addlat, latencies,
                 collect_issue_times, max_cycles,
                 steady_ok=True, chunked=False,
-            )[0]
+            )[0])
         if memory.capability() == CAP_STATELESS:
             # Pure function of the address: one up-front batched query
             # answers every access in the program. The skip re-arms if
             # the resulting table proves periodic.
-            return _simulate_fast(
-                low, program, unit_configs, memory,
-                _stateless_table(low, memory, latencies.mem_base),
+            table = _stateless_table(low, memory, latencies.mem_base)
+            if forced:
+                return _chosen("events-table", _simulate_events(
+                    low, program, unit_configs, memory, table, latencies,
+                    collect_issue_times, max_cycles, chunked=False,
+                ))
+            return _chosen("stateless-table", _simulate_fast(
+                low, program, unit_configs, memory, table,
                 latencies, collect_issue_times, max_cycles,
                 steady_ok=True, chunked=False,
-            )[0]
+            )[0])
         if (
-            memory.speculation_friendly()
+            not forced
+            and memory.speculation_friendly()
             and max_cycles is None
             and low.total >= _SKIP_MIN_TOTAL
             and _period_skip_enabled()
@@ -187,15 +254,26 @@ def simulate(
                 collect_issue_times,
             )
             if result is not None:
-                return result
+                return _chosen("speculative", result)
+        if forced or (
+            mode == "auto" and events_ok and memory.time_sensitive()
+        ):
+            # Time-sensitive stateful models (bank queuing, in-flight
+            # prefetch arrivals) burn idle cycles between long-latency
+            # arrivals in the cycle loop; the event heap jumps the
+            # clock straight to the next arrival instead.
+            return _chosen("events-chunked", _simulate_events(
+                low, program, unit_configs, memory, low.base_addlat,
+                latencies, collect_issue_times, max_cycles, chunked=True,
+            ))
         # Stateful-ordered: same fast loop, one chunked issue-order
         # query per unit per cycle.
-        return _simulate_fast(
+        return _chosen("chunked", _simulate_fast(
             low, program, unit_configs, memory, low.base_addlat, latencies,
             collect_issue_times, max_cycles,
             steady_ok=False, chunked=True,
-        )[0]
-    return _simulate_probing(
+        )[0])
+    return _chosen("probing", _simulate_probing(
         low,
         program,
         unit_configs,
@@ -205,7 +283,7 @@ def simulate(
         probe_esw,
         collect_issue_times,
         max_cycles,
-    )
+    ))
 
 
 def _stateless_table(
@@ -751,6 +829,305 @@ def _fast_fingerprint(
             1 if dispatched[g] and issue_time[g] < 0 else 0,
         ))
     return (lo - boundary, tuple(unit_part), tuple(region)), lo, hi
+
+
+def _simulate_events(
+    low: LoweredProgram,
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem,
+    addlat: list[int],
+    latencies: LatencyModel,
+    collect_issue_times: bool,
+    max_cycles: int | None,
+    chunked: bool,
+    trace: list[tuple[int, int, int]] | None = None,
+) -> SimulationResult:
+    """Event-heap scheduler: the clock jumps straight to the next event.
+
+    One global min-heap holds gid wakeups — operand completions and
+    memory arrivals — as bare integer keys
+    ``(time << _TIME_SHIFT) | seq``, so pushes allocate nothing and
+    every heap comparison is one int compare; ``seq_codes[seq]``
+    decodes a popped key back to its gid. *Unit-cycle* events (a unit
+    that must run again
+    next cycle: ready-heap backlog, or an in-order dispatch stream
+    still width-limited) can only ever target ``t + 1``, so they skip
+    the heap entirely and go through a plain armed-unit list that is
+    drained at the next timestamp. ``seq`` is a monotone insertion
+    counter stamped on every event — packed into the key's low bits
+    for heap entries — so events at equal timestamps order FIFO: the
+    same determinism treatment as the scheduler heap in
+    :mod:`repro.service.jobs`, making event order (and hence every
+    stateful-model query) reproducible across runs and worker
+    processes. Arming is deduplicated (``cycle_pending``), so no lazy
+    cancellation is needed; gid wakeups are pushed exactly once per
+    gid. The optional ``trace`` list receives the decoded
+    ``(time, seq, code)`` triple per consumed event, seq-merged
+    across both sources; ``code >= 0`` is a gid wakeup, ``code < 0``
+    a cycle event for unit ``-1 - code``.
+
+    Per popped timestamp the loop drains *all* events, then processes
+    the touched units in ascending unit order — the order the cycle
+    loops use — so with ``chunked`` a stateful model sees exactly one
+    issue-ordered :meth:`~repro.memory.MemorySystem.latencies` chunk
+    per issuing unit per visited cycle, with ``now`` jumping across
+    the skipped idle cycles (see docs/timing.md, "Event scheduling",
+    and the non-contiguous-timestamp contract in
+    :class:`~repro.memory.MemorySystem`). Every pushed event is
+    strictly in the future (the caller guarantees ``min_latency >= 1``
+    and ``mem_base >= 1``), so no timestamp is visited twice and the
+    schedule is bit-exact with :func:`_simulate_fast`.
+    """
+    total = low.total
+    units = low.units
+    nu = len(units)
+    is_mem = low.is_mem
+    addr_arr = low.addr
+    mem_base = latencies.mem_base
+    chunk_latencies = memory.latencies if chunked else None
+    cons = low.cons
+    unit_of = low.unit_index
+    pending = low.n_srcs.copy()
+    opmax = [0] * total
+    dispatched = bytearray(total)
+    issue_time = [-1] * total if collect_issue_times else None
+
+    streams = low.stream_gids
+    widths = [unit_configs[u].width for u in units]
+    windows = [unit_configs[u].window for u in units]
+    lens = [len(s) for s in streams]
+    ptrs = [0] * nu
+    occs = [0] * nu
+    readys: list[list[int]] = [[] for _ in range(nu)]
+    matured: list[list[int]] = [[] for _ in range(nu)]
+    issued_cnt = [0] * nu
+    icyc = [0] * nu
+    last_issue = [0] * nu
+
+    # The heap holds bare int keys — ``(time << _TIME_SHIFT) | seq`` —
+    # so pushes allocate nothing and every sift compare is one int
+    # compare; ``seq_codes[seq]`` decodes a popped key back to its gid
+    # (cycle events never enter the heap; when tracing they burn a seq
+    # on a ``-1 - u`` placeholder so the recorded FIFO order is global).
+    seq_codes: list[int] = []
+    events: list[int] = []  # gid wakeup keys only
+    cycle_pending = bytearray(nu)  # one in-flight arming per unit
+    active = bytearray(nu)  # dedupes touched units within a timestamp
+    arm: list[int] = []  # units that must run at the next timestamp
+    arm_seqs: list[int] | None = [] if trace is not None else None
+    for u in range(nu):
+        if lens[u]:
+            arm.append(u)
+            if arm_seqs is not None:
+                arm_seqs.append(len(seq_codes))
+                seq_codes.append(-1 - u)
+            cycle_pending[u] = 1
+
+    horizon = 0
+    t = -1
+    touched: list[int] = []
+    while events or arm:
+        # Armed units always target t + 1, and every heap entry is
+        # strictly future, so the next timestamp is t + 1 whenever any
+        # unit is armed — otherwise the clock jumps to the heap's min.
+        if arm:
+            t += 1
+        else:
+            t = events[0] >> _TIME_SHIFT
+        if max_cycles is not None and t > max_cycles:
+            raise SimulationError(
+                f"simulation exceeded max_cycles={max_cycles}"
+            )
+        del touched[:]
+        boundary = (t + 1) << _TIME_SHIFT
+        if trace is None:
+            while events and events[0] < boundary:
+                code = seq_codes[heappop(events) & _SEQ_MASK]
+                u = unit_of[code]
+                matured[u].append(code)
+                if not active[u]:
+                    active[u] = 1
+                    touched.append(u)
+            for u in arm:
+                cycle_pending[u] = 0
+                if not active[u]:
+                    active[u] = 1
+                    touched.append(u)
+            del arm[:]
+        else:
+            # Traced path: merge heap pops and armed cycle events by
+            # seq so the recorded order is the global FIFO order.
+            merged = [(s, -1 - u) for u, s in zip(arm, arm_seqs)]
+            while events and events[0] < boundary:
+                s = heappop(events) & _SEQ_MASK
+                merged.append((s, seq_codes[s]))
+            merged.sort()
+            del arm[:]
+            del arm_seqs[:]
+            for s, code in merged:
+                trace.append((t, s, code))
+                if code >= 0:
+                    u = unit_of[code]
+                    matured[u].append(code)
+                else:
+                    u = -1 - code
+                    cycle_pending[u] = 0
+                if not active[u]:
+                    active[u] = 1
+                    touched.append(u)
+        if len(touched) > 1:
+            touched.sort()
+        for u in touched:
+            active[u] = 0
+            ready = readys[u]
+            budget = widths[u]
+            # Issue phase: oldest-first, up to width. A matured batch
+            # that fits the width with no backlog bypasses the ready
+            # heap (sorted so stateful models still see oldest-first);
+            # the matured list is reused, never reallocated.
+            mat = matured[u]
+            nb = len(mat)
+            if nb:
+                if ready or nb > budget:
+                    for gid in mat:
+                        heappush(ready, gid)
+                    del mat[:]
+                    nb = 0
+                elif nb > 1:
+                    mat.sort()
+            if nb:
+                batch = mat
+            elif ready:
+                batch = []
+                while nb < budget and ready:
+                    batch.append(heappop(ready))
+                    nb += 1
+            else:
+                batch = None
+            if batch:
+                if nb == 1:
+                    # Single-gid issue: the long-latency trickle case —
+                    # skip the chunk listcomps and iterator machinery.
+                    gid = batch[0]
+                    if issue_time is not None:
+                        issue_time[gid] = t
+                    if chunk_latencies is not None and is_mem[gid]:
+                        avail = t + mem_base + chunk_latencies(
+                            [addr_arr[gid]], t
+                        )[0]
+                    else:
+                        avail = t + addlat[gid]
+                    if avail > horizon:
+                        horizon = avail
+                    for c in cons[gid]:
+                        remaining = pending[c] - 1
+                        pending[c] = remaining
+                        if opmax[c] < avail:
+                            opmax[c] = avail
+                        if not remaining and dispatched[c]:
+                            heappush(
+                                events,
+                                (opmax[c] << _TIME_SHIFT) | len(seq_codes),
+                            )
+                            seq_codes.append(c)
+                else:
+                    if chunk_latencies is not None:
+                        mem_gids = [g for g in batch if is_mem[g]]
+                        if mem_gids:
+                            extra_iter = iter(chunk_latencies(
+                                [addr_arr[g] for g in mem_gids], t
+                            ))
+                    for gid in batch:
+                        if issue_time is not None:
+                            issue_time[gid] = t
+                        if chunk_latencies is not None and is_mem[gid]:
+                            avail = t + mem_base + next(extra_iter)
+                        else:
+                            avail = t + addlat[gid]
+                        if avail > horizon:
+                            horizon = avail
+                        for c in cons[gid]:
+                            remaining = pending[c] - 1
+                            pending[c] = remaining
+                            if opmax[c] < avail:
+                                opmax[c] = avail
+                            if not remaining and dispatched[c]:
+                                heappush(
+                                    events,
+                                    (opmax[c] << _TIME_SHIFT)
+                                    | len(seq_codes),
+                                )
+                                seq_codes.append(c)
+                if batch is mat:
+                    del mat[:]
+                occs[u] -= nb
+                issued_cnt[u] += nb
+                icyc[u] += 1
+                last_issue[u] = t
+            # Dispatch phase: in order, up to width, into freed slots.
+            occ = occs[u]
+            ptr = ptrs[u]
+            stream_len = lens[u]
+            n = budget
+            room = windows[u] - occ
+            if n > room:
+                n = room
+            remaining = stream_len - ptr
+            if n > remaining:
+                n = remaining
+            if n > 0:
+                new_ptr = ptr + n
+                next_t = t + 1
+                for gid in streams[u][ptr:new_ptr]:
+                    dispatched[gid] = 1
+                    if not pending[gid]:
+                        ready_at = opmax[gid]
+                        if ready_at < next_t:
+                            ready_at = next_t
+                        heappush(
+                            events,
+                            (ready_at << _TIME_SHIFT) | len(seq_codes),
+                        )
+                        seq_codes.append(gid)
+                ptr = new_ptr
+                occ += n
+                ptrs[u] = ptr
+                occs[u] = occ
+            # Re-arm the unit's cycle event iff it must run next cycle:
+            # ready backlog, or a width-limited dispatch stream (room
+            # and instructions both left over means width was the cap).
+            if not cycle_pending[u] and (
+                ready or (ptr < stream_len and occ < windows[u])
+            ):
+                arm.append(u)
+                if arm_seqs is not None:
+                    arm_seqs.append(len(seq_codes))
+                    seq_codes.append(-1 - u)
+                cycle_pending[u] = 1
+
+    if any(occs[u] or ptrs[u] < lens[u] for u in range(nu)):
+        outstanding = sum(lens[u] - ptrs[u] + occs[u] for u in range(nu))
+        raise SimulationDeadlockError(
+            f"no unit can make progress at cycle {t} with "
+            f"{outstanding} instructions outstanding"
+        )
+    PERF_COUNTERS["event_runs"] += 1
+    unit_stats = {
+        units[u]: UnitStats(
+            unit=units[u],
+            instructions=issued_cnt[u],
+            last_issue=last_issue[u],
+            issue_cycles=icyc[u],
+        )
+        for u in range(nu)
+    }
+    issue_times = None
+    if issue_time is not None:
+        issue_times = {gid: issue_time[gid] for gid in range(total)}
+    return _result(
+        low, program, memory, horizon, unit_stats, None, 0, 0.0, issue_times
+    )
 
 
 class _UState:

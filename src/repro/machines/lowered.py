@@ -26,6 +26,15 @@ Lowering also computes two engine accelerator inputs:
   trace is — the engine can detect a repeating scheduler state and
   skip whole iterations while staying cycle-exact (docs/timing.md,
   "Periodic steady state").
+
+For the event-heap scheduler (docs/timing.md, "Event scheduling")
+lowering additionally records *event metadata*: ``mem_units`` — the
+units that own memory accesses — drives the engine's strategy
+selection (the event heap pays off exactly when a memory-owning unit
+faces long, irregular stateful latencies), and the per-gid
+``unit_index``/``cons`` tables double as the wakeup-routing tables the
+event loop uses to deliver completion and memory-arrival events to the
+right unit.
 """
 
 from __future__ import annotations
@@ -125,6 +134,7 @@ class LoweredProgram:
         "orig_index",
         "base_addlat",
         "memory_gids",
+        "mem_units",
         "is_mem",
         "min_latency",
         "min_dep_offset",
@@ -164,10 +174,10 @@ class LoweredProgram:
         the recorded access schedule; with a single issuing unit the
         replay's per-cycle chunks provably match the live engine's
         per-unit-per-cycle chunks (true for the DM — all accesses are
-        AU work — and trivially for the SWSM).
+        AU work — and trivially for the SWSM). Reads ``mem_units``,
+        the memory-owning-units table computed during lowering.
         """
-        units = {self.unit_index[gid] for gid in self.memory_gids}
-        return len(units) <= 1
+        return len(self.mem_units) <= 1
 
     def steady(self) -> SteadyState | None:
         """The verified structural period, or None (cached)."""
@@ -305,6 +315,9 @@ def lower_program(program: MachineProgram) -> LoweredProgram:
         1 if m == MODE_ESTABLISH else v for m, v in zip(low.mode, low.lat)
     ]
     low.memory_gids = [g for g in range(total) if low.mode[g] == MODE_MEMORY]
+    low.mem_units = tuple(
+        sorted({low.unit_index[g] for g in low.memory_gids})
+    )
     low.is_mem = bytearray(total)
     for g in low.memory_gids:
         low.is_mem[g] = 1

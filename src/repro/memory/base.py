@@ -23,6 +23,18 @@ aggressively it may batch:
   bypass buffers, bank queues). The engine queries once per unit per
   cycle with the chunk of accesses issued that cycle, in issue order,
   which is deterministic.
+
+Chunks arrive in issue order, but the ``now`` timestamps they carry
+are **not contiguous**: every engine loop skips idle cycles, and the
+event-heap scheduler (docs/timing.md, "Event scheduling") jumps the
+clock straight from one arrival to the next, so consecutive calls may
+be hundreds of cycles apart. Models must therefore derive elapsed time
+from ``now`` itself (as the bank-queue drain in
+:mod:`repro.memory.banked` and the in-flight arrival check in
+:mod:`repro.memory.prefetch` do), never from the number of calls —
+``now`` is guaranteed non-decreasing across calls within one run, and
+every engine strategy produces the identical call sequence for the
+cycles in which accesses are actually issued.
 """
 
 from __future__ import annotations
@@ -72,8 +84,11 @@ class MemorySystem(abc.ABC):
         """Extra cycles for a chunk of accesses issued in cycle ``now``.
 
         ``addrs`` lists the effective addresses in issue order; the
-        result is positionally aligned with it. This default is a
-        scalar shim so legacy models that only implement
+        result is positionally aligned with it. ``now`` is
+        non-decreasing across calls but jumps across idle cycles
+        (module docstring) — time-sensitive models must reason from
+        the timestamp, not the call count. This default is a scalar
+        shim so legacy models that only implement
         :meth:`extra_latency` keep working; every in-repo model
         overrides it with a single tight loop.
         """

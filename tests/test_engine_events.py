@@ -1,0 +1,282 @@
+"""Bit-exactness suite for the event-heap scheduler.
+
+The event engine (``_simulate_events`` in :mod:`repro.machines.engine`)
+must produce the exact schedule of the SoA cycle loops and of the
+legacy object engine — across both machines (DM, SWSM), every memory
+model kind the hierarchy scenario space ships
+(fixed/bypass/cache/hierarchy/banked/prefetch), probes on and off, and
+``REPRO_PERIOD_SKIP`` on and off. The suite drives strategy selection
+through the ``REPRO_EVENT_ENGINE`` toggle and pins both the automatic
+time-sensitive routing and the FIFO seq-counter determinism of the
+event heap (docs/timing.md, "Event scheduling").
+
+Reuses the PR-2/PR-3 parity fixtures from ``test_engine_soa``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_engine_soa import (
+    SMALL,
+    TINY,
+    assert_same_schedule,
+    compiled_variants,
+    dm_configs,
+    loop_nest_program,
+    stateful_model_zoo,
+    swsm_configs,
+)
+
+from repro import DecoupledMachine, SuperscalarMachine
+from repro.api import MemorySpec, Point, Session
+from repro.api.presets import HIERARCHY_MEMORY_VARIANTS
+from repro.config import DEFAULT_LATENCIES
+from repro.errors import ConfigError
+from repro.kernels import build_kernel
+from repro.machines import engine, simulate, simulate_objects
+from repro.machines.engine import _simulate_events
+from repro.memory import BankedMemory, FixedLatencyMemory
+
+MD = 60
+
+MEMORY_KINDS = tuple(label for label, _ in HIERARCHY_MEMORY_VARIANTS)
+
+
+def build_memory(label):
+    spec = dict(HIERARCHY_MEMORY_VARIANTS)[label]
+    return spec.build(MD)
+
+
+@pytest.fixture()
+def events(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_ENGINE", "events")
+    return monkeypatch
+
+
+class TestEventEngineParity:
+    """Forced event engine vs SoA loops vs the legacy object engine."""
+
+    @pytest.mark.parametrize("label", MEMORY_KINDS)
+    def test_every_memory_kind_both_machines(self, label, monkeypatch):
+        for compiled, make_configs in compiled_variants("flo52q", SMALL):
+            configs = make_configs(32)
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "events")
+            forced = simulate(compiled, configs, build_memory(label),
+                              collect_issue_times=True)
+            assert engine.LAST_STRATEGY in ("events-table", "events-chunked")
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "soa")
+            soa = simulate(compiled, configs, build_memory(label),
+                           collect_issue_times=True)
+            assert not engine.LAST_STRATEGY.startswith("events")
+            legacy = simulate_objects(compiled, configs, build_memory(label),
+                                      collect_issue_times=True)
+            assert_same_schedule(forced, soa)
+            assert_same_schedule(forced, legacy)
+
+    @pytest.mark.parametrize("label", [l for l, _ in stateful_model_zoo()])
+    def test_stateful_zoo_configurations(self, label, events):
+        # The zoo's configurations (small bypass, 4-bank queue, ...)
+        # differ from the hierarchy scenario space; cover them too.
+        make_memory = dict(stateful_model_zoo())[label]
+        for compiled, make_configs in compiled_variants("trfd", SMALL):
+            forced = simulate(compiled, make_configs(32), make_memory(),
+                              collect_issue_times=True)
+            legacy = simulate_objects(compiled, make_configs(32),
+                                      make_memory(),
+                                      collect_issue_times=True)
+            assert_same_schedule(forced, legacy)
+
+    def test_stateful_stats_identical(self, monkeypatch):
+        # The event engine feeds a stateful model the same chunk
+        # sequence as the cycle loop, so hit/conflict counters agree.
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        for label in ("banked", "prefetch", "cache"):
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "events")
+            ev_memory = build_memory(label)
+            simulate(compiled, dm_configs(32), ev_memory)
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "soa")
+            soa_memory = build_memory(label)
+            simulate(compiled, dm_configs(32), soa_memory)
+            assert ev_memory.stats() == soa_memory.stats()
+
+    def test_random_loop_nests(self, events):
+        for seed in (3, 11, 29):
+            program = loop_nest_program(seed, body=24, iterations=130)
+            for compile_fn, make_configs in (
+                (DecoupledMachine.compile, dm_configs),
+                (SuperscalarMachine.compile, swsm_configs),
+            ):
+                compiled = compile_fn(program)
+                forced = simulate(compiled, make_configs(16),
+                                  FixedLatencyMemory(MD),
+                                  collect_issue_times=True)
+                legacy = simulate_objects(compiled, make_configs(16),
+                                          FixedLatencyMemory(MD),
+                                          collect_issue_times=True)
+                assert_same_schedule(forced, legacy)
+
+    def test_period_skip_toggle_is_invisible(self, monkeypatch):
+        # The event engine has no skip layer, so REPRO_PERIOD_SKIP must
+        # not change its schedule — and the skip-accelerated SoA run
+        # must agree with both.
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        runs = {}
+        for skip in ("1", "0"):
+            monkeypatch.setenv("REPRO_PERIOD_SKIP", skip)
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "events")
+            runs["events", skip] = simulate(
+                compiled, dm_configs(32), FixedLatencyMemory(MD),
+                collect_issue_times=True)
+            monkeypatch.setenv("REPRO_EVENT_ENGINE", "soa")
+            runs["soa", skip] = simulate(
+                compiled, dm_configs(32), FixedLatencyMemory(MD),
+                collect_issue_times=True)
+        baseline = runs["events", "1"]
+        for other in runs.values():
+            assert_same_schedule(baseline, other)
+
+    def test_probes_route_past_the_event_engine(self, events):
+        # Probing runs keep their dedicated loop whatever the toggle
+        # says; results must match the legacy engine bit for bit.
+        compiled = DecoupledMachine.compile(build_kernel("mdg", TINY))
+        for label in ("fixed", "banked", "prefetch"):
+            forced = simulate(compiled, dm_configs(32), build_memory(label),
+                              probe_buffers=True, probe_esw=True,
+                              collect_issue_times=True)
+            assert engine.LAST_STRATEGY == "probing"
+            legacy = simulate_objects(compiled, dm_configs(32),
+                                      build_memory(label),
+                                      probe_buffers=True, probe_esw=True,
+                                      collect_issue_times=True)
+            assert_same_schedule(forced, legacy)
+            assert forced.buffer_occupancy is not None
+
+
+class TestStrategySelection:
+    """The REPRO_EVENT_ENGINE toggle and the automatic routing."""
+
+    def test_auto_routes_time_sensitive_models_to_the_heap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENT_ENGINE", raising=False)
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", SMALL))
+        simulate(compiled, dm_configs(32), build_memory("banked"))
+        assert engine.LAST_STRATEGY == "events-chunked"
+        simulate(compiled, dm_configs(32), build_memory("fixed"))
+        assert engine.LAST_STRATEGY == "uniform-table"
+        simulate(compiled, dm_configs(32), build_memory("cache"))
+        assert engine.LAST_STRATEGY in ("speculative", "chunked")
+
+    @pytest.mark.parametrize("spelling", ["1", "on", "force", "events"])
+    def test_force_spellings(self, spelling, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_ENGINE", spelling)
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        simulate(compiled, dm_configs(16), FixedLatencyMemory(MD))
+        assert engine.LAST_STRATEGY == "events-table"
+
+    @pytest.mark.parametrize("spelling", ["0", "off", "soa"])
+    def test_off_spellings(self, spelling, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_ENGINE", spelling)
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        simulate(compiled, dm_configs(16), build_memory("banked"))
+        assert engine.LAST_STRATEGY == "chunked"
+
+    def test_unknown_spelling_is_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_ENGINE", "bogus")
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        simulate(compiled, dm_configs(16), FixedLatencyMemory(MD))
+        assert engine.LAST_STRATEGY == "uniform-table"
+
+    def test_event_runs_counter_increments(self, events):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        before = engine.PERF_COUNTERS["event_runs"]
+        simulate(compiled, dm_configs(16), FixedLatencyMemory(MD))
+        assert engine.PERF_COUNTERS["event_runs"] == before + 1
+
+
+class TestHeapDeterminism:
+    """Regression pin for FIFO seq-counter tie-breaking (docs/timing.md).
+
+    Like the lazy-cancel scheduler heap in :mod:`repro.service.jobs`,
+    the engine heap carries a monotone insertion counter so entries at
+    equal timestamps pop in insertion order — without it, Python's
+    heapq would compare event codes and reorder same-cycle events
+    between runs and worker processes.
+    """
+
+    def _trace(self, compiled, memory, chunked):
+        low = compiled.lowered()
+        configs = dm_configs(32)
+        trace = []
+        addlat = (low.base_addlat if chunked
+                  else low.addlat_for(DEFAULT_LATENCIES.mem_base + MD))
+        result = _simulate_events(
+            low, compiled, configs, memory, addlat, DEFAULT_LATENCIES,
+            collect_issue_times=True, max_cycles=None, chunked=chunked,
+            trace=trace,
+        )
+        return result, trace
+
+    def test_identical_runs_produce_identical_traces(self):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        first_result, first = self._trace(
+            compiled, BankedMemory(extra=MD, banks=4, busy=3), chunked=True)
+        second_result, second = self._trace(
+            compiled, BankedMemory(extra=MD, banks=4, busy=3), chunked=True)
+        assert first == second
+        assert_same_schedule(first_result, second_result)
+
+    def test_popped_times_non_decreasing_and_seq_fifo(self):
+        compiled = DecoupledMachine.compile(build_kernel("flo52q", TINY))
+        _, trace = self._trace(compiled, FixedLatencyMemory(MD),
+                               chunked=False)
+        assert trace, "event engine must pop at least one event"
+        for (t0, s0, _), (t1, s1, _) in zip(trace, trace[1:]):
+            assert t1 >= t0
+            if t1 == t0:
+                # FIFO at equal timestamps: insertion order, by seq.
+                assert s1 > s0
+
+    def test_seq_counter_is_injective(self):
+        compiled = DecoupledMachine.compile(build_kernel("trfd", TINY))
+        _, trace = self._trace(compiled, FixedLatencyMemory(MD),
+                               chunked=False)
+        seqs = [seq for _, seq, _ in trace]
+        assert len(seqs) == len(set(seqs))
+
+
+class TestSessionEngineKnob:
+    """Session(engine=...) forwards the strategy to (worker) engines."""
+
+    def test_engine_choice_is_bit_invariant(self):
+        point = Point(program="flo52q", machine="dm", window=16,
+                      memory=MemorySpec(kind="banked"),
+                      memory_differential=MD)
+        results = [
+            Session(scale=2_000, engine=choice).evaluate(point)
+            for choice in (None, "auto", "events", "soa")
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    def test_parallel_sweep_matches_serial(self):
+        points = [
+            Point(program=name, machine=machine, window=16,
+                  memory=MemorySpec(kind="banked"), memory_differential=MD)
+            for name in ("trfd", "mdg")
+            for machine in ("dm", "swsm")
+        ]
+        serial = Session(scale=2_000, engine="soa").run(points)
+        parallel = Session(scale=2_000, engine="events").run(points, jobs=2)
+        assert serial.cycles() == parallel.cycles()
+        assert serial.results == parallel.results
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            Session(engine="warp")
+
+    def test_environment_restored_after_evaluate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_ENGINE", "soa")
+        point = Point(program="trfd", machine="dm", window=16,
+                      memory_differential=MD)
+        Session(scale=2_000, engine="events").evaluate(point)
+        assert __import__("os").environ["REPRO_EVENT_ENGINE"] == "soa"

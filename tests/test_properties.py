@@ -1,12 +1,21 @@
-"""Cross-cutting property tests on metrics and timing bounds."""
+"""Cross-cutting property tests on metrics, timing bounds, and the
+event-heap scheduler's determinism invariants."""
 
 from __future__ import annotations
+
+import os
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import DecoupledMachine, SuperscalarMachine, Unit, UnitConfig
+from repro.config import DEFAULT_LATENCIES
 from repro.kernels import PAPER_ORDER, build_kernel
+from repro.machines import simulate
+from repro.machines.engine import _simulate_events
+from repro.memory import BankedMemory, FixedLatencyMemory, StreamPrefetcher
 from repro.metrics import find_equivalent_window
+from repro.workloads import FAMILIES
 
 
 @settings(max_examples=50, deadline=None)
@@ -87,3 +96,118 @@ class TestTimingBoundsAcrossKernels:
             # non-overlapped serial reference on these workloads.
             assert lower <= dm < upper, name
             assert swsm < upper, name
+
+
+# -- event-heap scheduler invariants ------------------------------------------
+
+_GEN_SCALE = 1_200
+
+_MEMORY_FACTORIES = {
+    "fixed": lambda: FixedLatencyMemory(60),
+    "banked": lambda: BankedMemory(extra=60, banks=4, busy=3),
+    "prefetch": lambda: StreamPrefetcher(FixedLatencyMemory(60)),
+}
+
+_MACHINES = {
+    "dm": (
+        DecoupledMachine.compile,
+        {
+            Unit.AU: UnitConfig(window=16, width=4, name="AU"),
+            Unit.DU: UnitConfig(window=16, width=5, name="DU"),
+        },
+    ),
+    "swsm": (
+        SuperscalarMachine.compile,
+        {Unit.SINGLE: UnitConfig(window=16, width=9)},
+    ),
+}
+
+
+def _event_trace(compiled, memory, chunked):
+    """One forced event-engine run; returns (result, popped events)."""
+    low = compiled.lowered()
+    _, configs = _MACHINES["dm" if len(low.units) == 2 else "swsm"]
+    trace: list[tuple[int, int, int]] = []
+    addlat = (low.base_addlat if chunked
+              else low.addlat_for(DEFAULT_LATENCIES.mem_base + 60))
+    result = _simulate_events(
+        low, compiled, configs, memory, addlat, DEFAULT_LATENCIES,
+        collect_issue_times=True, max_cycles=None, chunked=chunked,
+        trace=trace,
+    )
+    return result, trace
+
+
+def _simulate_with_engine(compiled, configs, memory, choice):
+    previous = os.environ.get("REPRO_EVENT_ENGINE")
+    os.environ["REPRO_EVENT_ENGINE"] = choice
+    try:
+        return simulate(compiled, configs, memory, collect_issue_times=True)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_EVENT_ENGINE"]
+        else:
+            os.environ["REPRO_EVENT_ENGINE"] = previous
+
+
+class TestEventHeapProperties:
+    """Hypothesis invariants of the event-heap scheduler over random
+    generated kernels (``gen:<family>:<seed>`` names)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(0, 10_000),
+        kind=st.sampled_from(sorted(_MEMORY_FACTORIES)),
+    )
+    def test_popped_event_times_are_non_decreasing(self, family, seed, kind):
+        compiled = DecoupledMachine.compile(
+            build_kernel(f"gen:{family}:{seed}", _GEN_SCALE)
+        )
+        _, trace = _event_trace(compiled, _MEMORY_FACTORIES[kind](),
+                                chunked=kind != "fixed")
+        times = [t for t, _, _ in trace]
+        assert times == sorted(times)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(0, 10_000),
+        machine=st.sampled_from(sorted(_MACHINES)),
+    )
+    def test_heap_tie_breaks_are_fifo_deterministic(self, family, seed,
+                                                    machine):
+        # Two identical runs must pop the identical (time, seq, code)
+        # sequence — the seq counter pins insertion order at equal
+        # timestamps, so there is nothing left to vary.
+        compile_fn, _ = _MACHINES[machine]
+        compiled = compile_fn(build_kernel(f"gen:{family}:{seed}",
+                                           _GEN_SCALE))
+        first_result, first = _event_trace(
+            compiled, BankedMemory(extra=60, banks=4, busy=3), chunked=True)
+        second_result, second = _event_trace(
+            compiled, BankedMemory(extra=60, banks=4, busy=3), chunked=True)
+        assert first == second
+        assert first_result == second_result
+        for (t0, s0, _), (t1, s1, _) in zip(first, first[1:]):
+            if t1 == t0:
+                assert s1 > s0
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(0, 10_000),
+        machine=st.sampled_from(sorted(_MACHINES)),
+        kind=st.sampled_from(sorted(_MEMORY_FACTORIES)),
+    )
+    def test_result_invariant_under_engine_toggle(self, family, seed,
+                                                  machine, kind):
+        compile_fn, configs = _MACHINES[machine]
+        compiled = compile_fn(build_kernel(f"gen:{family}:{seed}",
+                                           _GEN_SCALE))
+        make_memory = _MEMORY_FACTORIES[kind]
+        forced = _simulate_with_engine(compiled, configs, make_memory(),
+                                       "events")
+        soa = _simulate_with_engine(compiled, configs, make_memory(), "soa")
+        auto = _simulate_with_engine(compiled, configs, make_memory(), "auto")
+        assert forced == soa == auto
