@@ -1,0 +1,185 @@
+"""Batched sweep engine vs per-point dispatch along a sweep axis.
+
+Times :func:`repro.machines.batch.simulate_batch` against the scalar
+per-point loop on the paper's densest sweep axis: one memory
+differential per cycle from 12 to 267 (256 operating points — the
+EWR-curve axis of Figures 7-9 at single-cycle resolution) over FLO52Q
+at window 32, for the decoupled machine and the single-window
+superscalar. Every run asserts the batched results are bit-identical
+to the per-point results before any timing is recorded, and the rows
+land in ``BENCH_engine.json`` next to the engine-strategy tiers.
+
+At ``BATCH_SCALES`` the batch engine must clear ``MIN_SPEEDUP`` x the
+per-point wall clock — the vectorization win the batch engine exists
+for; smaller tiers (tiny-scale CI smoke runs) record rows but stay
+out of the noise.
+
+Run the full comparison as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py
+
+Under pytest only the active ``REPRO_SCALE`` tier is measured, so the
+benchmark suite stays fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from trajectory import record_engine_rows
+
+from repro import DMConfig, DecoupledMachine, SWSMConfig, SuperscalarMachine
+from repro.config import UnitConfig
+from repro.experiments.scales import PRESETS
+from repro.kernels import build_kernel
+from repro.machines import simulate
+from repro.machines.batch import BatchLane, simulate_batch
+from repro.memory import FixedLatencyMemory
+from repro.partition import Unit
+
+np = pytest.importorskip("numpy")
+
+WINDOW = 32
+#: The sweep axis: every memory differential from `MD_LO` up to but
+#: not including `MD_HI`, one lane per cycle of differential.
+MD_LO, MD_HI = 12, 268
+SCALES = ("small", "paper", "huge")
+
+#: Scales at which the batch-beats-per-point assertion is enforced.
+BATCH_SCALES = ("paper", "huge")
+
+#: Required sweep-axis speedup of the batched loop over per-point
+#: dispatch at ``BATCH_SCALES``.
+MIN_SPEEDUP = 3.0
+
+
+def _machines():
+    dm = DecoupledMachine(DMConfig.symmetric(WINDOW))
+    swsm = SuperscalarMachine(SWSMConfig(window=WINDOW))
+    return (
+        ("dm", dm, {Unit.AU: dm.config.au, Unit.DU: dm.config.du}),
+        (
+            "swsm",
+            swsm,
+            {
+                Unit.SINGLE: UnitConfig(
+                    window=WINDOW, width=swsm.config.width, name="SWSM"
+                )
+            },
+        ),
+    )
+
+
+def measure_batch(scale_name: str, rounds: int = 3) -> list[dict]:
+    """Per-point vs batched sweep rows for DM and SWSM at one tier."""
+    program = build_kernel("flo52q", PRESETS[scale_name].scale)
+    differentials = range(MD_LO, MD_HI)
+    lanes = len(differentials)
+    rows = []
+    for machine_name, machine, configs in _machines():
+        compiled = machine.compile(program)
+        compiled.lowered().steady()  # warm the shared lowering
+        instructions = compiled.num_instructions
+
+        def run_per_point():
+            return [
+                simulate(compiled, configs, FixedLatencyMemory(md))
+                for md in differentials
+            ]
+
+        def run_batch():
+            return simulate_batch(compiled, [
+                BatchLane(
+                    unit_configs=configs, memory=FixedLatencyMemory(md)
+                )
+                for md in differentials
+            ])
+
+        want = run_per_point()
+        got = run_batch()
+        assert got == want, (
+            f"batched sweep diverged from per-point dispatch on "
+            f"{machine_name}@{scale_name}"
+        )
+        point_seconds = batch_seconds = float("inf")
+        # Interleave rounds so clock drift hits both paths equally.
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run_per_point()
+            point_seconds = min(
+                point_seconds, time.perf_counter() - start
+            )
+            start = time.perf_counter()
+            run_batch()
+            batch_seconds = min(
+                batch_seconds, time.perf_counter() - start
+            )
+        speedup = point_seconds / batch_seconds
+        if scale_name in BATCH_SCALES:
+            assert speedup >= MIN_SPEEDUP, (
+                f"batched sweep only {speedup:.2f}x over per-point "
+                f"dispatch on {machine_name}@{scale_name} "
+                f"({batch_seconds:.3f}s vs {point_seconds:.3f}s for "
+                f"{lanes} lanes); need {MIN_SPEEDUP}x"
+            )
+        base = {
+            "scale": scale_name,
+            "machine": machine_name,
+            "instructions": instructions,
+            "cycles": want[0].cycles,
+            "lanes": lanes,
+        }
+        rows.append({
+            **base,
+            "engine": "per-point",
+            "seconds": round(point_seconds, 6),
+            "ips": round(instructions * lanes / point_seconds),
+        })
+        rows.append({
+            **base,
+            "engine": "batch",
+            "seconds": round(batch_seconds, 6),
+            "ips": round(instructions * lanes / batch_seconds),
+            "speedup_vs_per_point": round(speedup, 2),
+        })
+    return rows
+
+
+def test_batch_engine_matches_and_records(preset):
+    """Sweep parity plus one recorded tier (the active ``REPRO_SCALE``);
+    the batch-beats-per-point assertion arms at paper+."""
+    scale_name = preset.name if preset.name in PRESETS else "small"
+    rounds = 3 if scale_name in BATCH_SCALES else 2
+    rows = measure_batch(scale_name, rounds=rounds)
+    record_engine_rows(rows)
+    for row in rows:
+        if row["engine"] == "batch":
+            print(
+                f"\n{row['machine']}@{row['scale']}: "
+                f"{row['lanes']}-lane sweep in {row['seconds']:.3f}s, "
+                f"{row['speedup_vs_per_point']:.1f}x over per-point "
+                f"dispatch"
+            )
+
+
+def main() -> None:
+    all_rows = []
+    for scale_name in SCALES:
+        all_rows.extend(measure_batch(scale_name))
+    record_engine_rows(all_rows)
+    print(f"{'scale':8} {'machine':8} {'lanes':>6} {'per-point':>10} "
+          f"{'batch':>10} {'speedup':>8}")
+    by_key = {(r["scale"], r["machine"], r["engine"]): r for r in all_rows}
+    for scale_name in SCALES:
+        for machine_name in ("dm", "swsm"):
+            point = by_key[(scale_name, machine_name, "per-point")]
+            batch = by_key[(scale_name, machine_name, "batch")]
+            print(f"{scale_name:8} {machine_name:8} {batch['lanes']:>6} "
+                  f"{point['seconds']:>9.3f}s {batch['seconds']:>9.3f}s "
+                  f"{batch['speedup_vs_per_point']:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,13 @@ _HEADER = {
                   "docs/timing.md, 'Event scheduling')",
         "probing": "per-cycle probing loop, probes off (the engine's "
                    "pre-event baseline for time-sensitive models)",
+        "per-point": "scalar dispatch of a whole sweep axis, one "
+                     "simulate() per operating point (the batch "
+                     "engine's baseline; rows carry a 'lanes' field "
+                     "with the axis width)",
+        "batch": "batched sweep engine, every lane of the axis in one "
+                 "SoA stepping loop (repro.machines.batch; rows carry "
+                 "'lanes' and 'speedup_vs_per_point')",
     },
     "machines": {
         "dm": "access decoupled machine, fixed-differential memory",

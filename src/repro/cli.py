@@ -106,6 +106,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="content-addressed on-disk result cache (reused across runs)",
     )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="batched sweep engine: group sweep points sharing a "
+        "compiled program and simulate each group in one vectorized "
+        "run (bit-exact; default: on, or the REPRO_BATCH_ENGINE "
+        "env toggle; --no-batch forces per-point dispatch)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="LHE of the DM at md=60 (Table 1)")
     for command, program in _FIGURE_BY_COMMAND.items():
@@ -375,7 +384,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _make_session(args: argparse.Namespace):
     preset = PRESETS[args.scale] if args.scale else active_preset()
     session = Session(
-        scale=preset.scale, cache_dir=args.cache_dir, jobs=args.jobs
+        scale=preset.scale,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        batch=args.batch,
     )
     return session, preset
 

@@ -144,11 +144,36 @@ class LoweredProgram:
         "pair_missing",
         "_addlat_cache",
         "_steady",
+        "_np_cache",
     )
 
     def __init__(self) -> None:
         self._addlat_cache: dict[int, list[int]] = {}
         self._steady = _UNSET
+        self._np_cache = None  # NumPy views for the batch engine
+
+    def __getstate__(self):
+        """Pickle the flat arrays; drop caches, keep a computed steady.
+
+        ``_steady`` uses a module-level sentinel for "not computed yet"
+        that cannot survive a pickle round-trip by identity, so it is
+        mapped out of the state (the digest-keyed lowering cache pickles
+        programs with ``steady()`` already materialised, which this
+        preserves — including a computed ``None``).
+        """
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_addlat_cache", "_np_cache")
+        }
+        if state["_steady"] is _UNSET:
+            del state["_steady"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__init__()
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def addlat_for(self, mem_latency: int) -> list[int]:
         """Effective added latency per gid for a uniform memory model.

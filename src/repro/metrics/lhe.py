@@ -46,18 +46,39 @@ class LhePoint:
         return classify_band(self.lhe)
 
 
+#: Largest fraction by which the differential run may legitimately
+#: beat the zero-differential run. Greedy oldest-first issue under a
+#: width limit is not monotone in latencies (Graham's scheduling
+#: anomalies): raising the memory latency can reorder issue so the
+#: whole program finishes slightly *sooner*. Every engine agrees on
+#: such cases bit-for-bit (the differential fuzzer holds them to each
+#: other), so small violations are a property of the modeled machine,
+#: not a bug; anything past this margin still fails loudly.
+_ANOMALY_MARGIN = 0.05
+
+
 def lhe(perfect_cycles: int, actual_cycles: int) -> float:
-    """Latency-hiding effectiveness ratio."""
+    """Latency-hiding effectiveness ratio, clamped to 1.0.
+
+    ``perfect_cycles`` is a lower bound only for latency-monotone
+    schedulers; width-limited greedy issue is not one, so a run at the
+    study differential may beat the zero-differential run by a small
+    scheduling-anomaly margin. Such points hide the differential
+    completely and report an LHE of exactly 1.0.
+    """
     if perfect_cycles <= 0:
         raise MetricError(f"non-positive perfect time {perfect_cycles}")
     if actual_cycles <= 0:
         raise MetricError(f"non-positive actual time {actual_cycles}")
     if actual_cycles < perfect_cycles:
-        # Perfect hiding is a lower bound; tiny violations would mean a
-        # simulator bug, so fail loudly rather than report LHE > 1.
-        raise MetricError(
-            f"actual time {actual_cycles} beats perfect time {perfect_cycles}"
-        )
+        if perfect_cycles - actual_cycles > _ANOMALY_MARGIN * perfect_cycles:
+            # Too large for a scheduling anomaly: a simulator bug.
+            raise MetricError(
+                f"actual time {actual_cycles} beats perfect time "
+                f"{perfect_cycles} by more than the "
+                f"{_ANOMALY_MARGIN:.0%} scheduling-anomaly margin"
+            )
+        return 1.0
     return perfect_cycles / actual_cycles
 
 

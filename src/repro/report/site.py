@@ -519,18 +519,34 @@ def _seconds(value: object) -> str:
     return "" if value is None else str(value)
 
 
+def _row_speedup(row: dict) -> str:
+    """One speedup cell, whichever baseline the row was measured
+    against (object engine, probing loop, or per-point dispatch)."""
+    for key, baseline in (
+        ("speedup_vs_objects", "objects"),
+        ("speedup_vs_probing", "probing"),
+        ("speedup_vs_per_point", "per-point"),
+    ):
+        value = row.get(key)
+        if value is not None:
+            return f"{value}x vs {baseline}"
+    return ""
+
+
 def _bench_page(payload: dict) -> tuple[str, str]:
     rows = payload.get("rows", [])
     table = TableBlock(
-        headers=("scale", "machine", "engine", "memory", "instructions",
-                 "cycles", "seconds", "instrs/sec", "speedup vs objects"),
+        headers=("scale", "machine", "engine", "memory", "lanes",
+                 "instructions", "cycles", "seconds", "instrs/sec",
+                 "speedup"),
         rows=tuple(
             (
                 row.get("scale", ""), row.get("machine", ""),
                 row.get("engine", ""), row.get("memory", ""),
+                row.get("lanes", ""),
                 row.get("instructions", ""), row.get("cycles", ""),
                 _seconds(row.get("seconds")), row.get("ips", ""),
-                row.get("speedup_vs_objects", ""),
+                _row_speedup(row),
             )
             for row in rows
         ),
@@ -541,7 +557,9 @@ def _bench_page(payload: dict) -> tuple[str, str]:
         f"{payload.get('window', '?')}, memory differential "
         f"{payload.get('memory_differential', '?')}; last refreshed "
         f"{payload.get('updated', 'unknown')} by the engine benchmarks "
-        f"(`benchmarks/bench_engine_soa.py`)."
+        f"(`benchmarks/bench_engine_soa.py`, `bench_engine_batch.py`; "
+        f"batch rows sweep one differential per lane and report whole "
+        f"sweep-axis wall clock)."
     )
     md = "\n".join([
         "# Engine benchmark trajectory", "",
