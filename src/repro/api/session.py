@@ -30,7 +30,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import as_completed
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Iterable
@@ -41,7 +41,10 @@ from ..ir import Program
 from ..ir.transforms import expand_code
 from ..kernels import build_kernel
 from ..machines import SimulationResult
+from ..machines.engine import record_counters
 from ..machines.registry import get_machine
+from ..obs.telemetry import RunTelemetry, add_counters, zero_counters
+from ..obs.trace import SpanTracer
 from ..partition import MachineProgram
 from .spec import Point, Sweep, point_batch_key, point_digest
 
@@ -62,6 +65,11 @@ class SweepResult:
     points: tuple[Point, ...]
     results: tuple[SimulationResult, ...]
     name: str = ""
+    #: Per-sweep telemetry rollup (cache-tier hits, engine counters,
+    #: strategy histogram, wall seconds) — see :meth:`Session.run`.
+    #: Excluded from equality: two runs of one sweep are the same
+    #: result regardless of where each point came from.
+    telemetry: dict | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -103,6 +111,12 @@ class Session:
             Batched runs are bit-exact with per-point runs and write
             the same per-point disk-cache entries, so this knob — like
             ``engine`` — never enters cache keys.
+        trace: structured span tracing (:mod:`repro.obs.trace`). A
+            path enables JSONL tracing to that file; ``None`` (the
+            default) defers to the ``REPRO_TRACE`` environment
+            variable; ``False`` disables tracing unconditionally
+            (pool workers run with ``False`` so forked children never
+            interleave writes into the parent's trace file).
     """
 
     scale: int = 20_000
@@ -114,6 +128,7 @@ class Session:
     jobs: int = 1
     engine: str | None = None
     batch: bool | None = None
+    trace: str | Path | bool | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in (None, "auto", "events", "soa"):
@@ -138,7 +153,30 @@ class Session:
             "batch_groups": 0,
             "batch_points": 0,
             "disk_read_seconds": 0.0,
+            "compile_seconds": 0.0,
+            "simulate_seconds": 0.0,
+            "sweep_seconds": 0.0,
         }
+        # Session-level rollup of every *fresh* simulation's telemetry
+        # (cache hits keep their original record and are not re-counted).
+        self._telemetry = {
+            "runs": 0,
+            "counters": zero_counters(),
+            "strategies": {},
+        }
+        self._tracer: SpanTracer | None = None
+        if self.trace is None:
+            env_path = os.environ.get("REPRO_TRACE", "").strip()
+            if env_path:
+                self._tracer = SpanTracer(env_path)
+        elif self.trace:
+            self._tracer = SpanTracer(self.trace)
+
+    def _span(self, name: str, **attrs):
+        """A tracer span when tracing is on, else a no-op context."""
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.span(name, **attrs)
 
     # -- persistent result store -------------------------------------------------
 
@@ -235,7 +273,9 @@ class Session:
         if key not in self._compiled:
             model = get_machine(machine)
             source = self._program_for(program, expansion)
-            loaded = self._lowering_load(source, machine, partition)
+            started = time.perf_counter()
+            with self._span("lower", program=program, machine=machine):
+                loaded = self._lowering_load(source, machine, partition)
             if loaded is not None:
                 self._compiled[key] = loaded
             else:
@@ -245,9 +285,11 @@ class Session:
                     partition=partition,
                     expansion=expansion,
                 )
-                compiled = model.compile(source, point, self.latencies)
+                with self._span("compile", program=program, machine=machine):
+                    compiled = model.compile(source, point, self.latencies)
                 self._lowering_store(source, machine, partition, compiled)
                 self._compiled[key] = compiled
+            self.stats["compile_seconds"] += time.perf_counter() - started
         return self._compiled[key]
 
     def _lowering_path(
@@ -343,9 +385,14 @@ class Session:
             # to manifest tracking without re-hashing the point.
             store.touch(key)
         else:
-            self._store_keys[canonical] = store.record(
-                canonical, self.scale, self.latencies, result
-            )
+            with self._span(
+                "store.write",
+                program=canonical.program,
+                machine=canonical.machine,
+            ):
+                self._store_keys[canonical] = store.record(
+                    canonical, self.scale, self.latencies, result
+                )
 
     def cycles(self, point: Point) -> int:
         return self.evaluate(point).cycles
@@ -363,11 +410,14 @@ class Session:
             return self._results[canonical]
         if canonical.program in self._custom:
             return None  # disk keys don't cover custom program content
-        loaded = self._disk_load(canonical)
-        if loaded is not None:
-            self._results[canonical] = loaded
-            return loaded
-        loaded = self._store_load(canonical)
+        with self._span(
+            "cache.probe",
+            program=canonical.program,
+            machine=canonical.machine,
+        ):
+            loaded = self._disk_load(canonical)
+            if loaded is None:
+                loaded = self._store_load(canonical)
         if loaded is not None:
             self._results[canonical] = loaded
             return loaded
@@ -393,13 +443,48 @@ class Session:
         # The row is already warehoused under this key; remember it so
         # _record touches the key instead of re-pickling the result.
         self._store_keys[canonical] = key
-        return result
+        return _stamp_tier(result, "store")
 
     def _store(self, canonical: Point, result: SimulationResult) -> None:
         self._results[canonical] = result
+        self._absorb_telemetry(result)
         self._disk_prefetched.pop(canonical, None)  # staged copy is stale
         if canonical.program not in self._custom:
             self._disk_store(canonical, result)
+
+    def _absorb_telemetry(self, result: SimulationResult) -> None:
+        """Fold one fresh result's telemetry into the session rollup.
+
+        ``_store`` is the single sink every freshly simulated result
+        passes through — serial evaluations, local batch groups and
+        pool-worker results alike — so aggregating here covers all
+        three execution paths with one code path.
+        """
+        telemetry = result.telemetry
+        if telemetry is None:
+            return
+        agg = self._telemetry
+        agg["runs"] += 1
+        add_counters(agg["counters"], telemetry.counters)
+        strategies = agg["strategies"]
+        strategies[telemetry.strategy] = (
+            strategies.get(telemetry.strategy, 0) + 1
+        )
+
+    def telemetry(self) -> dict:
+        """Aggregated telemetry of every fresh simulation this session.
+
+        Returns counter sums (matching this session's contribution to
+        ``repro.machines.engine.PERF_COUNTERS`` exactly, whichever
+        engines and however many worker processes ran), a strategy
+        histogram, and a copy of the cache/timing ``stats``.
+        """
+        return {
+            "runs": self._telemetry["runs"],
+            "counters": dict(self._telemetry["counters"]),
+            "strategies": dict(self._telemetry["strategies"]),
+            "stats": dict(self.stats),
+        }
 
     @contextmanager
     def _engine_env(self):
@@ -432,10 +517,18 @@ class Session:
             else max(len(program), 1)
         )
         memory = canonical.memory.build(canonical.memory_differential)
-        with self._engine_env():
+        started = time.perf_counter()
+        with self._engine_env(), self._span(
+            "simulate",
+            program=canonical.program,
+            machine=canonical.machine,
+            window=canonical.window,
+            memory_differential=canonical.memory_differential,
+        ):
             result = model.simulate(
                 compiled, canonical, window, memory, self.latencies
             )
+        self.stats["simulate_seconds"] += time.perf_counter() - started
         extras = memory.stats()
         if extras:
             # Stateful models report their hit/conflict counters
@@ -478,8 +571,15 @@ class Session:
                 unit_configs=hook(point, window, self.latencies),
                 memory=point.memory.build(point.memory_differential),
             ))
-        with self._engine_env():
+        started = time.perf_counter()
+        with self._engine_env(), self._span(
+            "simulate",
+            program=first.program,
+            machine=first.machine,
+            lanes=len(lanes),
+        ):
             results = simulate_batch(compiled, lanes, self.latencies)
+        self.stats["simulate_seconds"] += time.perf_counter() - started
         out = []
         for point, lane, result in zip(group, lanes, results):
             extras = lane.memory.stats()
@@ -508,14 +608,56 @@ class Session:
             points = tuple(sweep)
             name = ""
         effective_jobs = self.jobs if jobs is None else jobs
-        self._disk_prefetch(points)
-        mode = self._batch_mode()
-        if mode != "off":
-            self._prefetch_batch(points, effective_jobs, mode)
-        elif effective_jobs > 1:
-            self._prefetch_parallel(points, effective_jobs)
-        results = tuple(self.evaluate(point) for point in points)
-        return SweepResult(points=points, results=results, name=name)
+        started = time.perf_counter()
+        before = self.telemetry()
+        with self._span("sweep", sweep=name, points=len(points)):
+            self._disk_prefetch(points)
+            mode = self._batch_mode()
+            if mode != "off":
+                self._prefetch_batch(points, effective_jobs, mode)
+            elif effective_jobs > 1:
+                self._prefetch_parallel(points, effective_jobs)
+            results = tuple(self.evaluate(point) for point in points)
+        elapsed = time.perf_counter() - started
+        self.stats["sweep_seconds"] += elapsed
+        return SweepResult(
+            points=points,
+            results=results,
+            name=name,
+            telemetry=self._sweep_telemetry(before, len(points), elapsed),
+        )
+
+    def _sweep_telemetry(
+        self, before: dict, points: int, elapsed: float
+    ) -> dict:
+        """Rollup of what one sweep did, as deltas against ``before``."""
+        after = self.telemetry()
+        hits = {
+            key: after["stats"][key] - before["stats"][key]
+            for key in (
+                "evaluated", "memory_hits", "disk_hits", "store_hits",
+                "batch_groups", "batch_points",
+            )
+        }
+        counters = {
+            key: value - before["counters"].get(key, 0)
+            for key, value in after["counters"].items()
+        }
+        strategies = {
+            key: count
+            for key, count in (
+                (key, value - before["strategies"].get(key, 0))
+                for key, value in after["strategies"].items()
+            )
+            if count
+        }
+        return {
+            "points": points,
+            "wall_seconds": elapsed,
+            **hits,
+            "counters": counters,
+            "strategies": strategies,
+        }
 
     def _batch_mode(self) -> str:
         """Resolve the batched-sweep toggle: session knob, then env."""
@@ -661,8 +803,11 @@ class Session:
                 "engine": self.engine,
                 # Workers share the result cache and the digest-keyed
                 # lowering cache: the first worker to need a compiled
-                # program persists it, the rest load it.
+                # program persists it, the rest load it. They never
+                # inherit tracing: a forked child appending to the
+                # parent's trace file would interleave span streams.
                 "cache_dir": self.cache_dir,
+                "trace": False,
             }
             workers = min(jobs, tasks)
             chunksize = max(1, len(pool_scalar) // (workers * 4))
@@ -681,12 +826,10 @@ class Session:
                     for canonical, result in pool.map(
                         _worker_evaluate, pool_scalar, chunksize=chunksize
                     ):
-                        self._store(canonical, result)
-                        self.stats["evaluated"] += 1
+                        self._fold_worker_result(canonical, result)
                 for future in as_completed(futures):
                     for canonical, result in future.result():
-                        self._store(canonical, result)
-                        self.stats["evaluated"] += 1
+                        self._fold_worker_result(canonical, result)
             except BaseException:
                 # Ctrl-C (or any abort) must not hang waiting for queued
                 # work: cancel what hasn't started and return
@@ -703,6 +846,21 @@ class Session:
         for canonical in local_scalar:
             self._store(canonical, self._simulate(canonical))
             self.stats["evaluated"] += 1
+
+    def _fold_worker_result(
+        self, canonical: Point, result: SimulationResult
+    ) -> None:
+        """Fold one pool-worker result into this process's caches.
+
+        The worker's engine bumped *its own* process's ``PERF_COUNTERS``
+        — increments that die with the fork. The per-run telemetry
+        rides home on the result, so merging it here keeps the parent's
+        compat aggregate identical to what a ``jobs=1`` run reports.
+        """
+        if result.telemetry is not None:
+            record_counters(result.telemetry.counters)
+        self._store(canonical, result)
+        self.stats["evaluated"] += 1
 
     # -- disk cache --------------------------------------------------------------
 
@@ -761,7 +919,7 @@ class Session:
         staged = self._disk_prefetched.pop(canonical, _UNSET)
         if staged is not _UNSET and staged is not None:
             self.stats["disk_hits"] += 1
-            return staged
+            return _stamp_tier(staged, "disk")
         # A staged miss falls through to a fresh read: the entry may
         # have appeared since (another process), and the open below is
         # what counts the miss either way.
@@ -778,12 +936,18 @@ class Session:
             self.stats["disk_misses"] += 1
             return None  # corrupt entry: treat as a miss, re-simulate
         self.stats["disk_hits"] += 1
-        return result
+        return _stamp_tier(result, "disk")
 
     def _disk_store(self, canonical: Point, result: SimulationResult) -> None:
         path = self._disk_path(canonical)
         if path is None:
             return
+        if result.telemetry is not None:
+            # Cache entries stay telemetry-free: the payload bytes must
+            # depend only on the simulated schedule, never on which
+            # engine strategy or wall clock produced it (a batched and
+            # a per-point session write identical entries).
+            result = replace(result, telemetry=None)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("wb") as handle:
@@ -863,6 +1027,25 @@ class Session:
         perfect = self.dm_cycles(name, window, 0)
         actual = self.dm_cycles(name, window, md)
         return perfect / actual
+
+
+def _stamp_tier(result: SimulationResult, tier: str) -> SimulationResult:
+    """Mark which cache tier served this copy of a result.
+
+    Disk-cache payloads are stored telemetry-free, so a disk hit gets
+    a minimal record (strategy ``cached`` — the producing strategy is
+    not persisted there); store hits arrive with the recorded strategy
+    already attached and only need the tier corrected.
+    """
+    if result.telemetry is None:
+        return replace(result, telemetry=RunTelemetry(
+            strategy="cached", sim_cycles=result.cycles, cache_tier=tier,
+        ))
+    if result.telemetry.cache_tier == tier:
+        return result
+    return replace(
+        result, telemetry=replace(result.telemetry, cache_tier=tier)
+    )
 
 
 # -- process-pool workers ----------------------------------------------------------

@@ -115,6 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "run (bit-exact; default: on, or the REPRO_BATCH_ENGINE "
         "env toggle; --no-batch forces per-point dispatch)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append a structured JSONL span trace of this invocation "
+        "(compiles, cache probes, simulations, sweeps; same format as "
+        "the REPRO_TRACE env toggle; see docs/observability.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="LHE of the DM at md=60 (Table 1)")
     for command, program in _FIGURE_BY_COMMAND.items():
@@ -297,6 +305,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="program for presets that take one (e.g. bypass, speedup)",
     )
+    sweep.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a one-line telemetry summary (points, cache hits, "
+        "engine strategies, wall seconds) after the sweep table",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -378,6 +392,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--entries", type=int, default=64)
     run.add_argument("--line-bytes", type=int, default=32)
+    run.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a one-line telemetry summary (engine strategy, "
+        "counters, wall seconds) after the result",
+    )
     return parser
 
 
@@ -388,6 +408,7 @@ def _make_session(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         batch=args.batch,
+        trace=args.trace,
     )
     return session, preset
 
@@ -590,7 +611,9 @@ def _memory_label(memory: MemorySpec) -> str:
     return memory.kind
 
 
-def _print_sweep(session: Session, sweep: Sweep) -> None:
+def _print_sweep(
+    session: Session, sweep: Sweep, timings: bool = False
+) -> None:
     outcome = session.run(sweep)
     rows = []
     for point, result in outcome:
@@ -610,6 +633,28 @@ def _print_sweep(session: Session, sweep: Sweep) -> None:
         f"cache: {stats['evaluated']} simulated, "
         f"{stats['disk_hits']} disk hits, "
         f"{stats['memory_hits']} memory hits"
+    )
+    if timings and outcome.telemetry is not None:
+        print(_timings_line(outcome.telemetry))
+
+
+def _timings_line(telemetry: dict) -> str:
+    """The opt-in ``--timings`` one-liner for one sweep's rollup."""
+    strategies = ",".join(
+        f"{name}={count}"
+        for name, count in sorted(telemetry["strategies"].items())
+    ) or "none"
+    counters = telemetry["counters"]
+    return (
+        f"timings: {telemetry['points']} points "
+        f"({telemetry['evaluated']} simulated, "
+        f"{telemetry['memory_hits']} memory / "
+        f"{telemetry['disk_hits']} disk / "
+        f"{telemetry['store_hits']} store hits), "
+        f"strategies {strategies}, "
+        f"{counters.get('batch_lanes', 0)} batch lanes, "
+        f"{counters.get('steady_skips', 0)} steady skips, "
+        f"{telemetry['wall_seconds']:.3f}s wall"
     )
 
 
@@ -643,6 +688,18 @@ def _print_run(session: Session, args: argparse.Namespace) -> None:
     )
     if point.machine != "serial":
         print(f"speedup over serial: {session.speedup(point):.3f}")
+    if args.timings and result.telemetry is not None:
+        telemetry = result.telemetry
+        counters = ",".join(
+            f"{name}={value}"
+            for name, value in sorted(telemetry.counters.items())
+            if value
+        ) or "none"
+        print(
+            f"timings: strategy {telemetry.strategy} "
+            f"(tier {telemetry.cache_tier}), counters {counters}, "
+            f"{telemetry.wall_seconds:.3f}s wall"
+        )
 
 
 def _serve_command(preset, args) -> int:
@@ -714,7 +771,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif command == "corpus":
         return _corpus_command(session, preset, args)
     elif command == "sweep":
-        _print_sweep(session, _build_sweep(args))
+        _print_sweep(session, _build_sweep(args), timings=args.timings)
     elif command == "serve":
         return _serve_command(preset, args)
     elif command == "run":

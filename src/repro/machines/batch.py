@@ -49,7 +49,8 @@ throughput is lost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from time import perf_counter
 
 try:  # pragma: no cover - exercised implicitly by both branches
     import numpy as _np
@@ -59,6 +60,7 @@ except ImportError:  # pragma: no cover - numpy-less fallback
 from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
 from ..errors import SimulationDeadlockError
 from ..memory import CAP_STATELESS, MemorySystem
+from ..obs.telemetry import RunTelemetry, add_counters, zero_counters
 from ..partition.machine_program import MachineProgram, Unit
 from . import engine as _engine
 from .engine import SimulationResult, UnitStats
@@ -150,20 +152,34 @@ def simulate_batch(
         )
         for index, result in zip(chunk, chunk_results):
             results[index] = result
+            if result is not None and result.telemetry is not None:
+                # Per-lane telemetry is the source of truth; summing
+                # the lane records reproduces the old chunk-level
+                # global bumps exactly (batch_runs / batch_steps ride
+                # on each chunk's first surviving lane).
+                _engine.record_counters(result.telemetry.counters)
         ran_vector = True
-        _engine.PERF_COUNTERS["batch_runs"] += 1
-        _engine.PERF_COUNTERS["batch_lanes"] += sum(
-            1 for result in chunk_results if result is not None
-        )
     for index, lane in enumerate(lanes):
         if results[index] is None:
-            results[index] = _engine.simulate(
+            result = _engine.simulate(
                 program, lane.unit_configs, lane.memory, latencies,
                 collect_issue_times=collect_issue_times,
             )
-            _engine.PERF_COUNTERS["batch_fallback_lanes"] += 1
+            if result.telemetry is not None:
+                # The scalar run published its own counters; only the
+                # fallback marker is new.
+                counters = dict(result.telemetry.counters)
+                counters["batch_fallback_lanes"] = (
+                    counters.get("batch_fallback_lanes", 0) + 1
+                )
+                result = replace(
+                    result,
+                    telemetry=replace(result.telemetry, counters=counters),
+                )
+            results[index] = result
+            _engine.record_counters({"batch_fallback_lanes": 1})
     if ran_vector:
-        _engine.LAST_STRATEGY = "batch"
+        _engine.record_strategy("batch")
     return results  # type: ignore[return-value]
 
 
@@ -335,6 +351,7 @@ def _run_vector(
     the caller re-simulates those whole.
     """
     np = _np
+    started = perf_counter()
     total = low.total
     units = low.units
     nu = len(units)
@@ -398,6 +415,10 @@ def _run_vector(
     horizon = np.zeros(n_lanes, dtype=np.int64)
     fmax = np.full(n_lanes, -1, dtype=np.int64)
     lane_fill: list[tuple[int, int] | None] = [None] * n_lanes
+    # Per-lane steady-skip contributions (skips, skipped instructions)
+    # for the lane telemetry records; merged into the global view by
+    # the caller, lane by lane.
+    lane_skip: list[tuple[int, int]] = [(0, 0)] * n_lanes
     evicted: set[int] = set()
     memory_gids = tables["memory_gids"]
     uniform_lane = [
@@ -547,8 +568,7 @@ def _run_vector(
                 # instruction issues ``dt`` after its one-period-earlier
                 # counterpart), matching the scalar fast loop.
                 lane_fill[lane] = (period, dt)
-                _engine.PERF_COUNTERS["steady_skips"] += 1
-                _engine.PERF_COUNTERS["skipped_instructions"] += d_gid
+                lane_skip[lane] = (1, d_gid)
             return "disarm"
         sk.prev_fp = fp
         sk.prev_boundary = boundary
@@ -765,7 +785,13 @@ def _run_vector(
             nxt = np.where(stuck, t + 1, nxt)
         t = np.where(alive, nxt, t)
 
-    _engine.PERF_COUNTERS["batch_steps"] += steps
+    elapsed = perf_counter() - started
+    survivors = n_lanes - len(evicted)
+    # Counter attribution: each surviving lane carries batch_lanes=1
+    # plus its own steady-skip contribution; the chunk-level
+    # batch_runs/batch_steps ride on the chunk's first surviving lane,
+    # so summing lane records reproduces the chunk totals exactly.
+    chunk_counters_pending = True
     results = []
     for index, lane in enumerate(lanes):
         if index in evicted:
@@ -796,6 +822,16 @@ def _run_vector(
             )
             for u in range(nu)
         }
+        counters = zero_counters()
+        counters["batch_lanes"] = 1
+        skips, skipped = lane_skip[index]
+        add_counters(
+            counters,
+            {"steady_skips": skips, "skipped_instructions": skipped},
+        )
+        if chunk_counters_pending:
+            add_counters(counters, {"batch_runs": 1, "batch_steps": steps})
+            chunk_counters_pending = False
         results.append(SimulationResult(
             name=program.name,
             cycles=int(horizon[index]),
@@ -803,5 +839,12 @@ def _run_vector(
             unit_stats=unit_stats,
             issue_times=issue_times,
             meta={"memory": lane.memory.describe(), **program.meta},
+            telemetry=RunTelemetry(
+                strategy="batch",
+                counters=counters,
+                memory_stats=dict(lane.memory.stats()),
+                wall_seconds=elapsed / survivors if survivors else 0.0,
+                sim_cycles=int(horizon[index]),
+            ),
         ))
     return results

@@ -58,8 +58,10 @@ test-suite checks kernel by kernel and model by model.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
+from time import perf_counter
 
 from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
 from ..errors import SimulationDeadlockError, SimulationError
@@ -70,6 +72,7 @@ from ..memory import (
     OccupancyStats,
     occupancy_from_intervals,
 )
+from ..obs.telemetry import RunTelemetry, TelemetryCollector
 from ..partition.machine_program import MachineProgram, Unit
 from .lowered import MODE_ESTABLISH, MODE_MEMORY, LoweredProgram
 
@@ -131,8 +134,11 @@ def _batch_engine_mode() -> str:
 
 
 #: Cumulative steady-state accelerator activity, for tests and
-#: benchmarks that want to assert the skip path was (not) taken. Not
-#: part of the public API.
+#: benchmarks that want to assert the skip path was (not) taken. A
+#: backward-compatible *aggregated view*: the engines accumulate into
+#: per-run :class:`~repro.obs.telemetry.TelemetryCollector` objects
+#: and merge them in here under :data:`_PERF_LOCK` when a run
+#: finishes. Not part of the public API.
 PERF_COUNTERS = {
     "steady_skips": 0,
     "skipped_instructions": 0,
@@ -150,10 +156,36 @@ PERF_COUNTERS = {
 #: Diagnostic only (tests, benchmarks); not part of the public API.
 LAST_STRATEGY = "none"
 
+#: Guards every write to the compat aggregate above. Reads for display
+#: should go through :func:`counters_snapshot`.
+_PERF_LOCK = threading.Lock()
 
-def _chosen(strategy: str, result: SimulationResult) -> SimulationResult:
+
+def record_counters(counters: dict[str, int]) -> None:
+    """Merge one run's counter contribution into the global view."""
+    with _PERF_LOCK:
+        for key, value in counters.items():
+            if value:
+                PERF_COUNTERS[key] = PERF_COUNTERS.get(key, 0) + value
+
+
+def record_strategy(strategy: str) -> None:
+    """Publish the most recent strategy label (thread-safe)."""
     global LAST_STRATEGY
-    LAST_STRATEGY = strategy
+    with _PERF_LOCK:
+        LAST_STRATEGY = strategy
+
+
+def counters_snapshot() -> dict[str, int]:
+    """A consistent copy of :data:`PERF_COUNTERS`."""
+    with _PERF_LOCK:
+        return dict(PERF_COUNTERS)
+
+
+def _chosen(
+    collector: TelemetryCollector, strategy: str, result: SimulationResult
+) -> SimulationResult:
+    collector.choose(strategy)
     return result
 
 
@@ -185,6 +217,11 @@ class SimulationResult:
     esw_mean: float = 0.0
     issue_times: dict[int, int] | None = None
     meta: dict[str, object] = field(default_factory=dict)
+    #: Per-run observability record. Excluded from equality (two equal
+    #: schedules stay equal across cache tiers and wall clocks) and
+    #: from every cache key; ``None`` on results unpickled from
+    #: pre-telemetry caches, which the class-level default absorbs.
+    telemetry: RunTelemetry | None = field(default=None, compare=False)
 
     @property
     def ipc(self) -> float:
@@ -200,6 +237,7 @@ def simulate(
     probe_esw: bool = False,
     collect_issue_times: bool = False,
     max_cycles: int | None = None,
+    collector: TelemetryCollector | None = None,
 ) -> SimulationResult:
     """Run a machine program to completion and return timing results.
 
@@ -218,6 +256,9 @@ def simulate(
             tests and debugging; costs memory).
         max_cycles: abort with :class:`SimulationError` if the clock
             passes this bound (guards against configuration mistakes).
+        collector: per-run telemetry sink; supply one to claim the
+            run's counters yourself (the global aggregate is then
+            *not* updated — callers that pass a collector publish it).
     """
     if memory is None:
         memory = FixedLatencyMemory(0)
@@ -227,6 +268,39 @@ def simulate(
         if unit not in unit_configs:
             raise SimulationError(f"no unit configuration for {unit.value}")
 
+    own_collector = collector is None
+    if collector is None:
+        collector = TelemetryCollector()
+    started = perf_counter()
+    result = _route(
+        program, unit_configs, memory, latencies, probe_buffers,
+        probe_esw, collect_issue_times, max_cycles, collector,
+    )
+    telemetry = RunTelemetry(
+        strategy=collector.strategy,
+        counters=collector.snapshot(),
+        memory_stats=dict(memory.stats()),
+        wall_seconds=perf_counter() - started,
+        sim_cycles=result.cycles,
+    )
+    if own_collector:
+        record_counters(collector.counters)
+        record_strategy(collector.strategy)
+    return replace(result, telemetry=telemetry)
+
+
+def _route(
+    program: MachineProgram,
+    unit_configs: dict[Unit, UnitConfig],
+    memory: MemorySystem,
+    latencies: LatencyModel,
+    probe_buffers: bool,
+    probe_esw: bool,
+    collect_issue_times: bool,
+    max_cycles: int | None,
+    collector: TelemetryCollector,
+) -> SimulationResult:
+    """Pick a strategy and run it; records the choice on ``collector``."""
     low = program.lowered()
     if not probe_buffers and not probe_esw and low.min_latency >= 1:
         mode = _event_engine_mode()
@@ -242,14 +316,15 @@ def simulate(
             # One constant: precomputed table, steady-state skip armed.
             addlat = low.addlat_for(latencies.mem_base + uniform)
             if forced:
-                return _chosen("events-table", _simulate_events(
+                return _chosen(collector, "events-table", _simulate_events(
                     low, program, unit_configs, memory, addlat, latencies,
                     collect_issue_times, max_cycles, chunked=False,
+                    collector=collector,
                 ))
-            return _chosen("uniform-table", _simulate_fast(
+            return _chosen(collector, "uniform-table", _simulate_fast(
                 low, program, unit_configs, memory, addlat, latencies,
                 collect_issue_times, max_cycles,
-                steady_ok=True, chunked=False,
+                steady_ok=True, chunked=False, collector=collector,
             )[0])
         if memory.capability() == CAP_STATELESS:
             # Pure function of the address: one up-front batched query
@@ -257,14 +332,15 @@ def simulate(
             # the resulting table proves periodic.
             table = _stateless_table(low, memory, latencies.mem_base)
             if forced:
-                return _chosen("events-table", _simulate_events(
+                return _chosen(collector, "events-table", _simulate_events(
                     low, program, unit_configs, memory, table, latencies,
                     collect_issue_times, max_cycles, chunked=False,
+                    collector=collector,
                 ))
-            return _chosen("stateless-table", _simulate_fast(
+            return _chosen(collector, "stateless-table", _simulate_fast(
                 low, program, unit_configs, memory, table,
                 latencies, collect_issue_times, max_cycles,
-                steady_ok=True, chunked=False,
+                steady_ok=True, chunked=False, collector=collector,
             )[0])
         if (
             not forced
@@ -277,10 +353,10 @@ def simulate(
         ):
             result = _simulate_speculative(
                 low, program, unit_configs, memory, latencies,
-                collect_issue_times,
+                collect_issue_times, collector,
             )
             if result is not None:
-                return _chosen("speculative", result)
+                return _chosen(collector, "speculative", result)
         if forced or (
             mode == "auto" and events_ok and memory.time_sensitive()
         ):
@@ -288,18 +364,19 @@ def simulate(
             # prefetch arrivals) burn idle cycles between long-latency
             # arrivals in the cycle loop; the event heap jumps the
             # clock straight to the next arrival instead.
-            return _chosen("events-chunked", _simulate_events(
+            return _chosen(collector, "events-chunked", _simulate_events(
                 low, program, unit_configs, memory, low.base_addlat,
                 latencies, collect_issue_times, max_cycles, chunked=True,
+                collector=collector,
             ))
         # Stateful-ordered: same fast loop, one chunked issue-order
         # query per unit per cycle.
-        return _chosen("chunked", _simulate_fast(
+        return _chosen(collector, "chunked", _simulate_fast(
             low, program, unit_configs, memory, low.base_addlat, latencies,
             collect_issue_times, max_cycles,
-            steady_ok=False, chunked=True,
+            steady_ok=False, chunked=True, collector=collector,
         )[0])
-    return _chosen("probing", _simulate_probing(
+    return _chosen(collector, "probing", _simulate_probing(
         low,
         program,
         unit_configs,
@@ -360,6 +437,7 @@ def _simulate_speculative(
     memory: MemorySystem,
     latencies: LatencyModel,
     collect_issue_times: bool,
+    collector: TelemetryCollector | None = None,
 ) -> SimulationResult | None:
     """Schedule fixed point: decouple the stateful model from the loop.
 
@@ -391,7 +469,7 @@ def _simulate_speculative(
         result, issue = _simulate_fast(
             low, program, unit_configs, memory, table, latencies,
             collect_issue_times, None, steady_ok=True, chunked=False,
-            fill_gids=fill,
+            fill_gids=fill, collector=collector,
         )
         # The access stream, encoded issue-order first (cycle, gid).
         access = [issue[gid] * total + gid for gid in memory_gids]
@@ -481,6 +559,7 @@ def _simulate_fast(
     steady_ok: bool,
     chunked: bool,
     fill_gids: list[int] | None = None,
+    collector: TelemetryCollector | None = None,
 ) -> tuple[SimulationResult, list[int]]:
     """The hot path: no probes, every latency baked or chunk-batched.
 
@@ -741,8 +820,14 @@ def _simulate_fast(
                     fmax += d_gid
                     skip_shift = period
                     skip_dt = dt
-                    PERF_COUNTERS["steady_skips"] += 1
-                    PERF_COUNTERS["skipped_instructions"] += d_gid
+                    if collector is not None:
+                        collector.counters["steady_skips"] += 1
+                        collector.counters["skipped_instructions"] += d_gid
+                    else:
+                        record_counters({
+                            "steady_skips": 1,
+                            "skipped_instructions": d_gid,
+                        })
                 steady = None
             else:
                 prev_fp = fp
@@ -891,6 +976,7 @@ def _simulate_events(
     max_cycles: int | None,
     chunked: bool,
     trace: list[tuple[int, int, int]] | None = None,
+    collector: TelemetryCollector | None = None,
 ) -> SimulationResult:
     """Event-heap scheduler: the clock jumps straight to the next event.
 
@@ -1161,7 +1247,10 @@ def _simulate_events(
             f"no unit can make progress at cycle {t} with "
             f"{outstanding} instructions outstanding"
         )
-    PERF_COUNTERS["event_runs"] += 1
+    if collector is not None:
+        collector.counters["event_runs"] += 1
+    else:
+        record_counters({"event_runs": 1})
     unit_stats = {
         units[u]: UnitStats(
             unit=units[u],

@@ -22,6 +22,7 @@ Do not use it for new work; ``simulate`` in
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 
 from ..config import DEFAULT_LATENCIES, LatencyModel, UnitConfig
 from ..errors import SimulationDeadlockError, SimulationError
@@ -30,6 +31,7 @@ from ..memory import (
     MemorySystem,
     occupancy_from_intervals,
 )
+from ..obs.telemetry import RunTelemetry
 from ..partition.machine_program import (
     MachineProgram,
     MemKind,
@@ -132,6 +134,7 @@ def simulate_objects(
     if memory is None:
         memory = FixedLatencyMemory(0)
     memory.reset()
+    started = perf_counter()
 
     for unit in program.units:
         if unit not in unit_configs:
@@ -368,6 +371,12 @@ def simulate_objects(
         esw_mean=esw_weighted / esw_cycles if esw_cycles else 0.0,
         issue_times=issue_times,
         meta={"memory": memory.describe(), **program.meta},
+        telemetry=RunTelemetry(
+            strategy="objects",
+            memory_stats=dict(memory.stats()),
+            wall_seconds=perf_counter() - started,
+            sim_cycles=cycles,
+        ),
     )
 
 

@@ -42,6 +42,7 @@ from ..errors import ConfigError
 from ..ir import Program
 from ..partition import MachineProgram
 from ..partition.machine_program import Unit
+from ..obs.telemetry import RunTelemetry
 from ..partition.strategies import partition_with_strategy
 from .dm import DecoupledMachine
 from .engine import SimulationResult
@@ -235,6 +236,9 @@ class SerialModel:
             cycles=serial.cycles,
             instructions=serial.instructions,
             unit_stats={},
+            telemetry=RunTelemetry(
+                strategy="serial", sim_cycles=serial.cycles
+            ),
         )
 
 

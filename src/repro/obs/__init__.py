@@ -1,0 +1,36 @@
+"""Observability: per-run telemetry, span tracing, service metrics.
+
+The package is deliberately dependency-free within ``repro`` — the
+engines, the session layer and the service all import *from* here,
+never the other way around.
+
+* :mod:`repro.obs.telemetry` — the :class:`RunTelemetry` record
+  attached to every :class:`~repro.machines.engine.SimulationResult`
+  and the per-run :class:`TelemetryCollector` the engines thread
+  through their loops instead of bumping module globals.
+* :mod:`repro.obs.trace` — the JSONL span tracer behind
+  ``Session(trace=...)`` / ``--trace`` / ``REPRO_TRACE`` and its
+  schema validator.
+* :mod:`repro.obs.metrics` — the Prometheus text-format registry
+  behind the service's ``GET /v1/metrics``.
+"""
+
+from .telemetry import (
+    COUNTER_KEYS,
+    RunTelemetry,
+    TelemetryCollector,
+    add_counters,
+    zero_counters,
+)
+from .trace import SpanTracer, tracer_from_env, validate_trace
+
+__all__ = [
+    "COUNTER_KEYS",
+    "RunTelemetry",
+    "TelemetryCollector",
+    "add_counters",
+    "zero_counters",
+    "SpanTracer",
+    "tracer_from_env",
+    "validate_trace",
+]

@@ -1,0 +1,96 @@
+"""Per-run telemetry: what one simulation did, as a record.
+
+Historically the only visibility into the engine stack was the
+module-global ``PERF_COUNTERS`` dict and ``LAST_STRATEGY`` string in
+:mod:`repro.machines.engine` — racy under threads and silently zeroed
+in process-pool workers. The engines now thread an explicit
+:class:`TelemetryCollector` through each run and attach the resulting
+:class:`RunTelemetry` to the :class:`~repro.machines.engine
+.SimulationResult`; the globals survive purely as lock-guarded
+aggregated views fed from these per-run records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Counter keys every collector tracks — one-to-one with the legacy
+#: ``repro.machines.engine.PERF_COUNTERS`` aggregate, so summing the
+#: per-run records reproduces the global view exactly.
+COUNTER_KEYS = (
+    "steady_skips",
+    "skipped_instructions",
+    "event_runs",
+    "batch_runs",
+    "batch_lanes",
+    "batch_fallback_lanes",
+    "batch_steps",
+)
+
+
+def zero_counters() -> dict[str, int]:
+    """A fresh all-zero counter dict covering :data:`COUNTER_KEYS`."""
+    return dict.fromkeys(COUNTER_KEYS, 0)
+
+
+def add_counters(into: dict[str, int], delta: dict[str, int]) -> dict[str, int]:
+    """Accumulate ``delta`` into ``into`` (in place; returns ``into``)."""
+    for key, value in delta.items():
+        if value:
+            into[key] = into.get(key, 0) + value
+    return into
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Outcome metadata of one simulation run.
+
+    ``counters`` holds exactly this run's contribution to the global
+    aggregate (all :data:`COUNTER_KEYS`, zeros included), so counters
+    summed over a sweep's results equal the ``PERF_COUNTERS`` delta
+    the sweep produced — regardless of which process ran each point.
+    ``cache_tier`` records where *this* copy of the result came from:
+    ``fresh`` (simulated now), ``memory``, ``disk`` or ``store``.
+    Excluded from result equality and cache keys: two results are the
+    same schedule even when one was a cache hit.
+    """
+
+    strategy: str
+    counters: dict[str, int] = field(default_factory=zero_counters)
+    memory_stats: dict[str, object] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    sim_cycles: int = 0
+    cache_tier: str = "fresh"
+
+    def row_view(self) -> dict[str, object]:
+        """Deterministic subset for service rows: strategy + nonzero
+        counters. Excludes wall-clock and cache tier so identical
+        simulations serialize identically wherever they ran."""
+        return {
+            "strategy": self.strategy,
+            "counters": {k: v for k, v in self.counters.items() if v},
+        }
+
+    def store_view(self) -> dict[str, object]:
+        """Deterministic subset persisted in the result store."""
+        return {**self.row_view(), "cache_tier": self.cache_tier}
+
+
+class TelemetryCollector:
+    """Mutable per-run counter sink threaded through the engine loops.
+
+    The hot loops bump ``collector.counters[key]`` directly — the same
+    dict-increment cost as the old module global, without the races.
+    """
+
+    __slots__ = ("strategy", "counters")
+
+    def __init__(self) -> None:
+        self.strategy = "none"
+        self.counters = zero_counters()
+
+    def choose(self, strategy: str) -> None:
+        self.strategy = strategy
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.counters)

@@ -1,0 +1,165 @@
+"""Structured span tracer: append-only JSONL with happened-at stamps.
+
+Each record is one JSON object per line:
+
+``{"ts": <monotonic seconds>, "pid": <int>, "tid": <int>,
+   "ph": "B"|"E"|"I", "name": <str>, ...}``
+
+``ph`` follows the familiar begin/end/instant phase convention; B/E
+pairs share a per-process ``span`` id, and span records may carry an
+``attrs`` object with arbitrary JSON attributes. ``ts`` is a
+``time.monotonic()`` *happened-at* timestamp captured under the
+writer lock, so within one process the file order is timestamp order
+— the property :func:`validate_trace` checks, alongside B/E pairing.
+
+Tracing is enabled by ``Session(trace=path)``, the ``--trace PATH``
+CLI flag, or the ``REPRO_TRACE`` environment variable (see
+:func:`tracer_from_env`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+#: Schema tag written by the ``trace.open`` instant record.
+TRACE_SCHEMA = "repro-trace-1"
+
+_PHASES = frozenset({"B", "E", "I"})
+
+
+class SpanTracer:
+    """Thread-safe JSONL span writer.
+
+    Opens the file in append mode so several tracers (or several runs)
+    may share one file; every record is written and flushed as a
+    single line under the instance lock.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pid = os.getpid()
+        self.event("trace.open", schema=TRACE_SCHEMA)
+
+    def _write(self, record: dict) -> None:
+        with self._lock:
+            if self._fh.closed:
+                return
+            full = {
+                "ts": time.monotonic(),
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                **record,
+            }
+            self._fh.write(json.dumps(full, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit one instant ("I") record."""
+        record: dict[str, object] = {"ph": "I", "name": name}
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Emit a B record now and the matching E record on exit."""
+        span_id = next(self._ids)
+        record: dict[str, object] = {"ph": "B", "name": name, "span": span_id}
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+        try:
+            yield
+        finally:
+            self._write({"ph": "E", "name": name, "span": span_id})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+def tracer_from_env() -> SpanTracer | None:
+    """A :class:`SpanTracer` on ``$REPRO_TRACE``, or None if unset."""
+    path = os.environ.get("REPRO_TRACE", "").strip()
+    return SpanTracer(path) if path else None
+
+
+def validate_trace(path: str | Path) -> list[str]:
+    """Check a trace file against the schema; return problems found.
+
+    An empty list means the file is a valid trace: every line parses,
+    required fields are present and typed, timestamps are monotone
+    (non-decreasing) within each process, and every "B" record has
+    exactly one matching "E" record (same pid, span id and name).
+    """
+    problems: list[str] = []
+    last_ts: dict[int, float] = {}
+    open_spans: dict[tuple[int, int], str] = {}
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return ["trace file is empty"]
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        ts = record.get("ts")
+        pid = record.get("pid")
+        ph = record.get("ph")
+        name = record.get("name")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"line {lineno}: missing numeric 'ts'")
+            continue
+        if not isinstance(pid, int):
+            problems.append(f"line {lineno}: missing integer 'pid'")
+            continue
+        if ph not in _PHASES:
+            problems.append(f"line {lineno}: 'ph' must be one of B/E/I")
+            continue
+        if not isinstance(name, str) or not name:
+            problems.append(f"line {lineno}: missing string 'name'")
+            continue
+        if pid in last_ts and ts < last_ts[pid]:
+            problems.append(
+                f"line {lineno}: ts {ts} went backwards for pid {pid}"
+            )
+        last_ts[pid] = ts
+        if ph == "I":
+            continue
+        span = record.get("span")
+        if not isinstance(span, int):
+            problems.append(f"line {lineno}: span record missing 'span' id")
+            continue
+        key = (pid, span)
+        if ph == "B":
+            if key in open_spans:
+                problems.append(f"line {lineno}: span {span} begun twice")
+            open_spans[key] = name
+        else:
+            begun = open_spans.pop(key, None)
+            if begun is None:
+                problems.append(f"line {lineno}: end without begin ({name})")
+            elif begun != name:
+                problems.append(
+                    f"line {lineno}: span {span} began as {begun!r} "
+                    f"but ended as {name!r}"
+                )
+    for (pid, span), name in open_spans.items():
+        problems.append(f"span {span} ({name!r}, pid {pid}) never ended")
+    return problems

@@ -165,13 +165,21 @@ def write_site(
     (out / "models.html").write_text(models_html)
     pages += ["models.md", "models.html"]
 
+    if store is not None:
+        telemetry_md, telemetry_html = _telemetry_page(store)
+        (out / "telemetry.md").write_text(telemetry_md)
+        (out / "telemetry.html").write_text(telemetry_html)
+        pages += ["telemetry.md", "telemetry.html"]
+
     if bench is not None:
         bench_md, bench_html = _bench_page(bench)
         (out / "bench.md").write_text(bench_md)
         (out / "bench.html").write_text(bench_html)
         pages += ["bench.md", "bench.html"]
 
-    index_md, index_html = _index_page(artifacts, preset, bench is not None)
+    index_md, index_html = _index_page(
+        artifacts, preset, bench is not None, store is not None
+    )
     (out / "index.md").write_text(index_md)
     (out / "index.html").write_text(index_html)
     pages += ["index.md", "index.html", "manifest.json"]
@@ -406,7 +414,10 @@ def _index_sections(
 
 
 def _index_page(
-    artifacts: list[Artifact], preset: ScalePreset, has_bench: bool
+    artifacts: list[Artifact],
+    preset: ScalePreset,
+    has_bench: bool,
+    has_telemetry: bool = False,
 ) -> tuple[str, str]:
     intro = (
         f"Every table and figure of the paper, regenerated from "
@@ -460,6 +471,12 @@ def _index_page(
         html.append(
             '<li><a href="bench.html">Engine benchmark trajectory</a></li>'
         )
+    if has_telemetry:
+        md.append(
+            "- [Run telemetry](telemetry.md) — engine strategies and "
+            "accelerator counters behind every stored point"
+        )
+        html.append('<li><a href="telemetry.html">Run telemetry</a></li>')
     md.append(
         "- [manifest.json](manifest.json) — artefact-to-store-key map "
         "for this report"
@@ -510,6 +527,69 @@ _MACHINE_NOTES = {
     "swsm": "single-window superscalar at the DM's combined width",
     "serial": "in-order serial reference (speedup denominator)",
 }
+
+#: Counter columns of the telemetry page, in display order.
+_TELEMETRY_COUNTERS = (
+    ("steady_skips", "steady skips"),
+    ("skipped_instructions", "skipped instrs"),
+    ("event_runs", "event runs"),
+    ("batch_lanes", "batch lanes"),
+)
+
+
+def _telemetry_page(store) -> tuple[str, str]:
+    """Per-(program, machine, strategy) rollup of store-recorded telemetry.
+
+    Renders only the deterministic store column (strategy + counter
+    sums), never wall-clock numbers, so a rebuild against the same
+    store reproduces the page byte-for-byte.
+    """
+    groups: dict[tuple[str, str, str], dict] = {}
+    recorded = 0
+    for row in store.rows():
+        telemetry = row.telemetry
+        if telemetry is None:
+            continue
+        recorded += 1
+        key = (row.program, row.machine, telemetry.get("strategy", "?"))
+        group = groups.setdefault(key, {"points": 0, "counters": {}})
+        group["points"] += 1
+        counters = group["counters"]
+        for name, value in (telemetry.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+    table = TableBlock(
+        headers=("program", "machine", "strategy", "points",
+                 *(label for _, label in _TELEMETRY_COUNTERS)),
+        rows=tuple(
+            (
+                program, machine, strategy, group["points"],
+                *(group["counters"].get(name, 0)
+                  for name, _ in _TELEMETRY_COUNTERS),
+            )
+            for (program, machine, strategy), group in sorted(groups.items())
+        ),
+        title="Engine strategy and accelerator counters per stored point",
+    )
+    context = (
+        f"{recorded} of {len(store)} stored operating points carry run "
+        f"telemetry (rows from pre-telemetry stores have none). "
+        f"Strategies name the engine fast path that produced the "
+        f"result; counters sum each strategy's accelerator work. See "
+        f"docs/observability.md for the field glossary."
+    )
+    md = "\n".join([
+        "# Run telemetry", "",
+        "[report index](index.md)", "",
+        context, "",
+        _md_table(table), "",
+    ])
+    body = "\n".join([
+        "<h1>Run telemetry</h1>",
+        '<p><a href="index.html">report index</a></p>',
+        f"<p>{_escape(context)}</p>",
+        _html_table(table),
+    ])
+    return md, _page_html("Run telemetry", body)
 
 
 def _seconds(value: object) -> str:

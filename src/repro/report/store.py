@@ -40,7 +40,11 @@ __all__ = ["ResultStore", "StoredResult", "SCHEMA_VERSION"]
 #: v2 added the ``payload`` column (the pickled full result, same
 #: bytes as a disk-cache entry) so sweeps and the service layer can
 #: rehydrate store-resident points without re-simulating them.
-SCHEMA_VERSION = 2
+#: v3 added the ``telemetry`` column: the deterministic slice of the
+#: run's :class:`~repro.obs.telemetry.RunTelemetry` (strategy, nonzero
+#: counters, cache tier) as JSON — the payload itself stays
+#: telemetry-free so its bytes depend only on the schedule.
+SCHEMA_VERSION = 3
 
 #: Writer lock patience, in seconds: how long a connection waits for a
 #: competing writer before giving up. With WAL journaling readers never
@@ -67,6 +71,7 @@ CREATE TABLE IF NOT EXISTS results (
     meta                TEXT NOT NULL,
     cache_format        INTEGER NOT NULL,
     grammar_version     INTEGER,
+    telemetry           TEXT,
     payload             BLOB
 )
 """
@@ -75,7 +80,7 @@ _COLUMNS = (
     "key", "program", "machine", "window", "memory_differential",
     "au_width", "du_width", "swsm_width", "partition", "expansion",
     "memory", "scale", "latencies", "cycles", "instructions", "meta",
-    "cache_format", "grammar_version",
+    "cache_format", "grammar_version", "telemetry",
 )
 
 _INSERT_COLUMNS = (*_COLUMNS, "payload")
@@ -108,6 +113,9 @@ class StoredResult:
     meta: dict
     cache_format: int
     grammar_version: int | None
+    #: Deterministic run telemetry (strategy, nonzero counters, cache
+    #: tier), or None for rows written by pre-v3 stores.
+    telemetry: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -222,6 +230,23 @@ class ResultStore:
             grammar_version = GRAMMAR_VERSION
         from ..api.spec import CACHE_FORMAT
 
+        telemetry = result.telemetry
+        if telemetry is not None:
+            from dataclasses import replace as _replace
+
+            # The payload must serialize identically however the run
+            # was produced; the deterministic telemetry slice lives in
+            # its own column instead.
+            payload = pickle.dumps(
+                _replace(result, telemetry=None),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            telemetry_json = _to_json(telemetry.store_view())
+        else:
+            payload = pickle.dumps(
+                result, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            telemetry_json = None
         row = (
             key,
             point.program,
@@ -241,7 +266,8 @@ class ResultStore:
             _to_json(dict(result.meta)),
             CACHE_FORMAT,
             grammar_version,
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+            telemetry_json,
+            payload,
         )
         self._con.execute(_INSERT, row)
         self._con.commit()
@@ -316,14 +342,33 @@ class ResultStore:
         store-resident points entirely.
         """
         row = self._con.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
+            "SELECT payload, telemetry FROM results WHERE key = ?", (key,)
         ).fetchone()
         if row is None or row[0] is None:
             return None
         try:
-            return pickle.loads(row[0])
+            result = pickle.loads(row[0])
         except Exception:
             return None  # corrupt payload: treat as a miss, re-simulate
+        if row[1] is not None and result.telemetry is None:
+            from dataclasses import replace as _replace
+
+            from ..obs.telemetry import RunTelemetry, zero_counters
+
+            try:
+                recorded = json.loads(row[1])
+                result = _replace(result, telemetry=RunTelemetry(
+                    strategy=recorded.get("strategy", "cached"),
+                    counters={
+                        **zero_counters(),
+                        **recorded.get("counters", {}),
+                    },
+                    sim_cycles=result.cycles,
+                    cache_tier="store",
+                ))
+            except Exception:
+                pass  # telemetry is advisory; the result stands alone
+        return result
 
     def get(self, key: str) -> StoredResult | None:
         row = self._con.execute(
@@ -354,6 +399,8 @@ class ResultStore:
         values["memory"] = json.loads(values["memory"])
         values["latencies"] = json.loads(values["latencies"])
         values["meta"] = json.loads(values["meta"])
+        if values["telemetry"] is not None:
+            values["telemetry"] = json.loads(values["telemetry"])
         return StoredResult(**values)
 
     def close(self) -> None:

@@ -175,6 +175,24 @@ class ServiceClient:
         query = f"?{'&'.join(params)}" if params else ""
         return self._request("GET", f"/v1/results{query}")
 
+    def metrics(self) -> str:
+        """The ``/v1/metrics`` Prometheus exposition text, verbatim."""
+        url = f"{self.base_url}/v1/metrics"
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/plain"}, method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
     def artifact(self, path: str) -> bytes:
         """One page of the served report site, as raw bytes."""
         url = f"{self.base_url}/v1/artifacts/{path.lstrip('/')}"

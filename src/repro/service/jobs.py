@@ -56,6 +56,7 @@ from ..config import LatencyModel
 from ..errors import ConfigError, QueueFullError, ReproError
 from ..kernels import get_kernel
 from ..machines.registry import get_machine
+from ..obs.trace import tracer_from_env
 
 __all__ = [
     "JOB_STATES",
@@ -110,6 +111,9 @@ class Job:
     points: int = 0
     rows: list[dict] | None = None
     error: str | None = None
+    #: Session-telemetry deltas attributable to this job's execution
+    #: (runs, engine counters, strategy histogram, cache hits).
+    telemetry: dict | None = None
 
     def describe(self) -> dict:
         """The poll-endpoint view: everything but the result rows."""
@@ -138,6 +142,7 @@ def result_rows(points, results, scale: int, latencies) -> list[dict]:
     rows = []
     for point, result in zip(points, results):
         canonical = get_machine(point.machine).canonical(point)
+        telemetry = result.telemetry
         rows.append({
             "point": point_to_dict(point),
             # The row's store key: the canonical point's content
@@ -147,8 +152,45 @@ def result_rows(points, results, scale: int, latencies) -> list[dict]:
             "instructions": result.instructions,
             "ipc": result.ipc,
             "meta": dict(result.meta),
+            # Only the deterministic slice (strategy + nonzero
+            # counters): the row must serialize identically whether the
+            # result came from the engine, the disk cache or the store.
+            "telemetry": (
+                telemetry.row_view() if telemetry is not None else None
+            ),
         })
     return rows
+
+
+def _telemetry_delta(before: dict, after: dict) -> dict:
+    """What one job did, as session-telemetry deltas."""
+    counters = {
+        key: value - before["counters"].get(key, 0)
+        for key, value in after["counters"].items()
+        if value - before["counters"].get(key, 0)
+    }
+    strategies = {
+        key: count
+        for key, count in (
+            (key, value - before["strategies"].get(key, 0))
+            for key, value in after["strategies"].items()
+        )
+        if count
+    }
+    hits = {
+        key: after["stats"][key] - before["stats"][key]
+        for key in (
+            "evaluated", "memory_hits", "disk_hits", "store_hits",
+            "batch_groups", "batch_points",
+        )
+        if key in after["stats"]
+    }
+    return {
+        "runs": after["runs"] - before["runs"],
+        "counters": counters,
+        "strategies": strategies,
+        **hits,
+    }
 
 
 def _parse_spec(kind: str, spec: object) -> tuple[object, tuple[Point, ...]]:
@@ -197,6 +239,9 @@ class JobScheduler:
         self._accepting = True
         self._stop = False
         self._local = threading.local()
+        # Job-lifecycle spans land in the same REPRO_TRACE file the
+        # worker sessions write to, so one trace shows the whole story.
+        self._tracer = tracer_from_env()
         self._threads = [
             threading.Thread(
                 target=self._work, name=f"repro-worker-{i}", daemon=True
@@ -255,12 +300,17 @@ class JobScheduler:
                 job.started = job.finished = None
                 job.rows = None
                 job.error = None
+                job.telemetry = None
             self._queued += 1
             heapq.heappush(
                 self._heap, (priority, next(self._seq), job_id)
             )
             self._wake.notify()
-            return job, False
+        if self._tracer is not None:
+            self._tracer.event(
+                "job.queued", job=job_id, kind=kind, points=len(points)
+            )
+        return job, False
 
     def _identify(
         self, kind: str, parsed: object, points: tuple[Point, ...]
@@ -397,7 +447,13 @@ class JobScheduler:
                 self._running += 1
             rows, error = None, None
             try:
-                rows = self._execute(job)
+                if self._tracer is not None:
+                    with self._tracer.span(
+                        "job.run", job=job.id, kind=job.kind
+                    ):
+                        rows = self._execute(job)
+                else:
+                    rows = self._execute(job)
             except ReproError as exc:
                 error = f"{type(exc).__name__}: {exc}"
             except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
@@ -412,15 +468,21 @@ class JobScheduler:
                     job.error = error
                 self._running -= 1
                 self._idle.notify_all()
+            if self._tracer is not None:
+                self._tracer.event(
+                    "job.finished", job=job.id, state=job.state
+                )
 
     def _execute(self, job: Job) -> list[dict]:
         session = self._session()
         parsed, points = _parse_spec(job.kind, job.spec)
+        before = session.telemetry()
         if job.kind == "point":
             results = (session.evaluate(parsed),)
         else:
             outcome = session.run(parsed)
             points, results = outcome.points, outcome.results
+        job.telemetry = _telemetry_delta(before, session.telemetry())
         return result_rows(
             points, results, self.config.scale, self.config.latencies
         )

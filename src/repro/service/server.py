@@ -13,6 +13,7 @@ Built entirely on the stdlib (:class:`http.server.ThreadingHTTPServer`)
 ``DELETE /v1/jobs/<id>``                    cancel a still-queued job
 ``GET  /v1/results``                        rows straight from the result store
 ``GET  /v1/artifacts/<path>``               pages of a built ``repro report`` site
+``GET  /v1/metrics``                        Prometheus text: jobs, queue, requests
 ==========================================  =====================================
 
 Status mapping: a malformed spec (anything raising from the library's
@@ -36,9 +37,12 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import QueueFullError, ReproError, StoreError
+from ..machines.engine import counters_snapshot
+from ..obs.metrics import MetricsRegistry
 from ..report.store import ResultStore
 from .jobs import DONE, FAILED, JOB_STATES, JobScheduler, ServiceConfig
 
@@ -66,9 +70,41 @@ _INDEX = {
         "DELETE /v1/jobs/<id>",
         "GET /v1/results",
         "GET /v1/artifacts/<path>",
+        "GET /v1/metrics",
     ],
     "states": list(JOB_STATES),
 }
+
+
+def _endpoint_label(method: str, parts: tuple[str, ...]) -> str:
+    """Collapse a request path to its route pattern for metric labels.
+
+    Ids and artefact paths are unbounded, so labelling by the raw path
+    would make the request-counter cardinality unbounded too.
+    """
+    if parts == ():
+        route = "/"
+    elif parts in (("health",), ("v1", "health")):
+        route = "/health"
+    elif parts == ("v1", "jobs"):
+        route = "/v1/jobs"
+    elif len(parts) == 3 and parts[:2] == ("v1", "jobs"):
+        route = "/v1/jobs/<id>"
+    elif (
+        len(parts) == 4
+        and parts[:2] == ("v1", "jobs")
+        and parts[3] == "result"
+    ):
+        route = "/v1/jobs/<id>/result"
+    elif parts == ("v1", "results"):
+        route = "/v1/results"
+    elif len(parts) >= 2 and parts[:2] == ("v1", "artifacts"):
+        route = "/v1/artifacts/<path>"
+    elif parts == ("v1", "metrics"):
+        route = "/v1/metrics"
+    else:
+        route = "<other>"
+    return f"{method} {route}"
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -87,6 +123,7 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
     site_dir = (
         Path(config.site_dir).resolve() if config.site_dir else None
     )
+    metrics = MetricsRegistry()
 
     class Handler(BaseHTTPRequestHandler):
         server_version = "repro-serve"
@@ -97,6 +134,24 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # requests are not worth a stderr line each
+
+        def send_response(self, code, message=None):
+            self._observed_status = code
+            super().send_response(code, message)
+
+        def _timed(self, handler) -> None:
+            """Run one verb handler, recording latency + final status."""
+            started = perf_counter()
+            self._observed_status = 0
+            try:
+                handler()
+            finally:
+                parts, _ = self._route()
+                metrics.observe_request(
+                    _endpoint_label(self.command, parts),
+                    self._observed_status,
+                    perf_counter() - started,
+                )
 
         def _send_json(
             self, status: int, payload: dict, headers: dict | None = None
@@ -133,6 +188,15 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
         # -- verbs ----------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            self._timed(self._get)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            self._timed(self._post)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+            self._timed(self._delete)
+
+        def _get(self) -> None:
             parts, query = self._route()
             if parts == ():
                 self._send_json(200, _INDEX)
@@ -155,10 +219,12 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
                 self._results(query)
             elif len(parts) >= 2 and parts[:2] == ("v1", "artifacts"):
                 self._artifact(parts[2:])
+            elif parts == ("v1", "metrics"):
+                self._metrics()
             else:
                 self._error(404, f"no such endpoint: {self.path}")
 
-        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        def _post(self) -> None:
             parts, _ = self._route()
             if parts != ("v1", "jobs"):
                 self._error(404, f"no such endpoint: {self.path}")
@@ -188,7 +254,7 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
                 {**job.describe(), "coalesced": coalesced},
             )
 
-        def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        def _delete(self) -> None:
             parts, _ = self._route()
             if len(parts) == 3 and parts[:2] == ("v1", "jobs"):
                 job = scheduler.job(parts[2])
@@ -243,7 +309,12 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
                 self._error(404, f"unknown job {job_id}")
             elif job.state == DONE:
                 self._send_json(
-                    200, {**job.describe(), "rows": job.rows}
+                    200,
+                    {
+                        **job.describe(),
+                        "rows": job.rows,
+                        "telemetry": job.telemetry,
+                    },
                 )
             elif job.state == FAILED:
                 self._error(500, job.error or "job failed", "JobFailed")
@@ -293,10 +364,34 @@ def _make_handler(config: ServiceConfig, scheduler: JobScheduler):
                         "instructions": row.instructions,
                         "ipc": row.ipc,
                         "meta": row.meta,
+                        "telemetry": row.telemetry,
                     }
                     for row in rows
                 ],
             })
+
+        def _metrics(self) -> None:
+            counts = scheduler.counts()
+            body = metrics.render(
+                gauges={
+                    "repro_queue_depth": counts["queue_depth"],
+                    "repro_queue_limit": counts["queue_limit"],
+                    "repro_workers": counts["workers"],
+                    "repro_accepting": int(counts["accepting"]),
+                },
+                job_states={
+                    state: counts[state] for state in JOB_STATES
+                },
+                engine_counters=counters_snapshot(),
+            ).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type",
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
 
         def _artifact(self, rest: tuple[str, ...]) -> None:
             if site_dir is None:

@@ -5,6 +5,12 @@ through the HTTP client, and asserts the rows coming back over HTTP
 are byte-for-byte identical to the rows a direct Session produces for
 the same points — the service is a transport, not a different answer.
 
+Also exercises the observability surface (docs/observability.md): the
+direct session runs under a JSONL span trace that must validate
+cleanly, and the server's `/v1/metrics` endpoint must return
+well-formed Prometheus text carrying queue-depth, job-state and
+engine-counter samples.
+
 Usage (CI runs it at tiny scale):
 
     REPRO_SCALE=tiny PYTHONPATH=src python tools/service_smoke.py
@@ -21,6 +27,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import Session, Sweep  # noqa: E402
 from repro.experiments import active_preset  # noqa: E402
+from repro.obs.metrics import parse_prometheus  # noqa: E402
+from repro.obs.trace import validate_trace  # noqa: E402
 from repro.service import (  # noqa: E402
     ServiceClient,
     ServiceConfig,
@@ -56,11 +64,20 @@ def main() -> int:
             assert health["status"] == "ok", health
             job_id = client.submit_sweep(sweep)
             payload = client.fetch(job_id, timeout=600)
+            metrics_text = client.metrics()
         finally:
             stop_server(server)
 
-    session = Session(scale=preset.scale)
-    outcome = session.run(sweep)
+        trace_path = Path(workdir) / "trace.jsonl"
+        session = Session(scale=preset.scale, trace=trace_path)
+        outcome = session.run(sweep)
+        problems = validate_trace(trace_path)
+        if problems:
+            print("service smoke: FAIL — span trace is invalid")
+            for problem in problems[:10]:
+                print(f"  {problem}")
+            return 1
+
     direct = result_rows(
         outcome.points, outcome.results, preset.scale, config.latencies
     )
@@ -73,9 +90,35 @@ def main() -> int:
         print(f"  expected: {expected[:400]}")
         return 1
 
+    if not payload.get("telemetry", {}).get("runs"):
+        print("service smoke: FAIL — fetch payload carries no job telemetry")
+        return 1
+
+    try:
+        samples = parse_prometheus(metrics_text)
+    except ValueError as error:
+        print(f"service smoke: FAIL — /v1/metrics did not parse: {error}")
+        return 1
+    for required in (
+        "repro_queue_depth",
+        'repro_jobs{state="done"}',
+    ):
+        if required not in samples:
+            print(
+                f"service smoke: FAIL — /v1/metrics lacks {required!r}"
+            )
+            return 1
+    if not any(k.startswith("repro_engine_counter_total") for k in samples):
+        print("service smoke: FAIL — /v1/metrics lacks engine counters")
+        return 1
+    if not any(k.startswith("repro_http_requests_total") for k in samples):
+        print("service smoke: FAIL — /v1/metrics lacks request counters")
+        return 1
+
     print(
         f"service smoke: OK — {len(direct)} rows over HTTP byte-identical "
-        f"to direct Session (scale={preset.name})"
+        f"to direct Session, {len(samples)} metric samples parsed, span "
+        f"trace valid (scale={preset.name})"
     )
     return 0
 
